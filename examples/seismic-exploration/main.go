@@ -1,0 +1,110 @@
+// Seismic exploration: the interactive hunting session the paper's
+// introduction motivates. A seismologist starts from pure metadata
+// (which stations? which days have data?), narrows down with derived
+// summaries, and drills into raw waveforms — while the system ingests
+// only the handful of chunks the session actually touches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sommelier"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sommelier-explore-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := sommelier.DefaultRepoConfig(10)
+	cfg.SamplesPerFile = 5000
+	cfg.EventRate = 0.5
+	if err := sommelier.GenerateRepository(dir, cfg); err != nil {
+		log.Fatal(err)
+	}
+	db, err := sommelier.Open(dir, sommelier.Config{Approach: sommelier.Lazy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := db.Report().Files
+
+	step := func(title, sql string) *sommelier.Result {
+		fmt.Printf("\n### %s\n", title)
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(sommelier.FormatResult(res))
+		fmt.Printf("[T%d, %v, %d/%d chunks touched]\n",
+			res.QueryType, res.Stats.Total().Round(time.Microsecond), res.Stats.ChunksSelected, total)
+		return res
+	}
+
+	// 1. T1 — survey the catalog: which stations, how many files?
+	// Pure metadata: no waveform is touched.
+	step("Which stations are in the archive?",
+		`SELECT station, COUNT(*) AS files FROM F GROUP BY station ORDER BY station`)
+
+	// 2. T1 — segment inventory of one candidate station.
+	step("How much FIAM data is there per segment length?",
+		`SELECT COUNT(*) AS segments, SUM(sample_count) AS samples
+		 FROM S WHERE file_id >= 0`)
+
+	// 3. T2 — summary hunting: derive hourly windows for one day and
+	// look for high-volatility hours (short-term averaging targets).
+	step("Which hours of 2010-01-03 look seismically interesting?",
+		`SELECT window_start_ts, window_max_val, window_std_dev FROM H
+		 WHERE window_station = 'FIAM' AND window_channel = 'HHZ'
+		   AND window_start_ts >= '2010-01-03T00:00:00.000'
+		   AND window_start_ts < '2010-01-04T00:00:00.000'
+		 ORDER BY window_max_val DESC LIMIT 3`)
+
+	// 4. T4 — drill into the raw waveform around the top hour: the
+	// short-term average of the paper's Query 1.
+	step("Short-term average in the hot hour",
+		`SELECT AVG(D.sample_value), COUNT(*) AS n FROM dataview
+		 WHERE F.station = 'FIAM' AND F.channel = 'HHZ'
+		   AND D.sample_time >= '2010-01-03T00:00:00.000'
+		   AND D.sample_time < '2010-01-03T06:00:00.000'`)
+
+	// 4b. Run the STA/LTA event detector over the retrieved waveform
+	// (2 s short window / 15 s long window at 20 Hz, as in §II-C).
+	wave := step("Waveform for event detection",
+		`SELECT D.sample_time, D.sample_value FROM dataview
+		 WHERE F.station = 'FIAM' AND F.channel = 'HHZ'
+		   AND D.sample_time >= '2010-01-03T00:00:00.000'
+		   AND D.sample_time < '2010-01-04T00:00:00.000'
+		 ORDER BY D.sample_time LIMIT 4000`)
+	events, err := sommelier.DetectEvents(wave, 40, 300, 2.5, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STA/LTA found %d candidate events", len(events))
+	for i, e := range events {
+		if i >= 3 {
+			fmt.Printf(" ...")
+			break
+		}
+		fmt.Printf("  [samples %d-%d, peak ratio %.1f]", e.Start, e.End, e.MaxRatio)
+	}
+	fmt.Println()
+
+	// 5. T5 — retrieve waveforms of only the volatile hours across the
+	// whole span (the paper's Query 2 pattern).
+	step("Waveform points in high-volatility hours (first 5)",
+		`SELECT D.sample_time, D.sample_value FROM windowdataview
+		 WHERE F.station = 'FIAM' AND F.channel = 'HHZ'
+		   AND H.window_start_ts >= '2010-01-01T00:00:00.000'
+		   AND H.window_start_ts < '2010-01-10T00:00:00.000'
+		   AND H.window_std_dev > 100
+		 ORDER BY D.sample_time LIMIT 5`)
+
+	st := db.CacheStats()
+	fmt.Printf("\nsession footprint: %d of %d chunks ever ingested, %d windows derived, cache holds %d chunks (%d B)\n",
+		st.Chunks, total, db.MaterializedWindows(), st.Chunks, st.BytesUsed)
+}

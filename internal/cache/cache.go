@@ -1,0 +1,233 @@
+// Package cache implements the recycler: the chunk cache that keeps
+// lazily loaded actual data resident between queries. It mirrors the
+// role of MonetDB's Recycler in the paper — plain LRU by default — and
+// additionally offers the cost-aware replacement policy the paper lists
+// as future work ("Smarter Caching"), where eviction weighs loading
+// cost against recency.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Policy selects the replacement strategy.
+type Policy uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used chunk (the paper's default).
+	LRU Policy = iota
+	// CostAware evicts the chunk with the lowest
+	// loadCost × frequency / size score, so expensive-to-reload
+	// chunks survive longer.
+	CostAware
+)
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	BytesUsed int64
+	Chunks    int
+}
+
+type entry struct {
+	id       int64
+	bytes    int64
+	loadCost time.Duration
+	hits     int64
+	lastUsed int64 // logical clock
+	elem     *list.Element
+}
+
+// Recycler is a byte-capacity bounded cache of chunk IDs. The chunk
+// payloads themselves live in the actual-data tables; the recycler
+// decides residency and invokes the eviction callback so the owner can
+// drop the column data.
+type Recycler struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	policy   Policy
+	clock    int64
+	entries  map[int64]*entry
+	lru      *list.List // front = most recent
+	onEvict  func(chunkID int64)
+	stats    Stats
+}
+
+// New creates a recycler with the given byte capacity and policy.
+// onEvict (may be nil) is called with the chunk ID after eviction.
+// A capacity of zero disables caching entirely: every Admit is refused.
+func New(capacity int64, policy Policy, onEvict func(int64)) *Recycler {
+	return &Recycler{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[int64]*entry),
+		lru:      list.New(),
+		onEvict:  onEvict,
+	}
+}
+
+// Contains reports residency and counts a hit or miss, refreshing
+// recency on hit. It is the cache-scan vs chunk-access decision point.
+func (r *Recycler) Contains(chunkID int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[chunkID]
+	if !ok {
+		r.stats.Misses++
+		return false
+	}
+	r.stats.Hits++
+	r.touch(e)
+	return true
+}
+
+// Peek reports residency without touching statistics or recency.
+func (r *Recycler) Peek(chunkID int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[chunkID]
+	return ok
+}
+
+func (r *Recycler) touch(e *entry) {
+	r.clock++
+	e.lastUsed = r.clock
+	e.hits++
+	r.lru.MoveToFront(e.elem)
+}
+
+// Admit registers a freshly loaded chunk, evicting as needed. It
+// returns false — and evicts nothing — if the chunk can never fit
+// (larger than capacity); the caller then treats the chunk as
+// uncacheable and drops it after the query.
+func (r *Recycler) Admit(chunkID int64, bytes int64, loadCost time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bytes > r.capacity {
+		return false
+	}
+	if e, ok := r.entries[chunkID]; ok {
+		// Re-admission updates size accounting.
+		r.used += bytes - e.bytes
+		e.bytes = bytes
+		e.loadCost = loadCost
+		r.touch(e)
+		r.evictOverflowLocked(chunkID)
+		return true
+	}
+	e := &entry{id: chunkID, bytes: bytes, loadCost: loadCost}
+	r.clock++
+	e.lastUsed = r.clock
+	e.elem = r.lru.PushFront(e)
+	r.entries[chunkID] = e
+	r.used += bytes
+	r.evictOverflowLocked(chunkID)
+	_, stillThere := r.entries[chunkID]
+	return stillThere
+}
+
+// evictOverflowLocked evicts until used ≤ capacity, never evicting the
+// pinned chunk (the one just admitted).
+func (r *Recycler) evictOverflowLocked(pinned int64) {
+	for r.used > r.capacity {
+		victim := r.victimLocked(pinned)
+		if victim == nil {
+			return
+		}
+		r.removeLocked(victim)
+		r.stats.Evictions++
+		if r.onEvict != nil {
+			r.onEvict(victim.id)
+		}
+	}
+}
+
+func (r *Recycler) victimLocked(pinned int64) *entry {
+	switch r.policy {
+	case CostAware:
+		var worst *entry
+		var worstScore float64
+		for _, e := range r.entries {
+			if e.id == pinned {
+				continue
+			}
+			// Benefit of keeping: reload cost × observed reuse,
+			// per byte of capacity it occupies.
+			score := float64(e.loadCost) * float64(e.hits+1) / float64(e.bytes+1)
+			if worst == nil || score < worstScore {
+				worst, worstScore = e, score
+			}
+		}
+		return worst
+	default: // LRU
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e.id != pinned {
+				return e
+			}
+		}
+		return nil
+	}
+}
+
+func (r *Recycler) removeLocked(e *entry) {
+	r.lru.Remove(e.elem)
+	delete(r.entries, e.id)
+	r.used -= e.bytes
+}
+
+// Drop removes a chunk without counting an eviction (used when the
+// owner invalidates data). Reports whether it was resident.
+func (r *Recycler) Drop(chunkID int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[chunkID]
+	if !ok {
+		return false
+	}
+	r.removeLocked(e)
+	return true
+}
+
+// Clear empties the cache, invoking the eviction callback for every
+// resident chunk. It models a server restart for "cold" runs.
+func (r *Recycler) Clear() {
+	r.mu.Lock()
+	ids := make([]int64, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		r.removeLocked(r.entries[id])
+	}
+	cb := r.onEvict
+	r.mu.Unlock()
+	if cb != nil {
+		for _, id := range ids {
+			cb(id)
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Recycler) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.BytesUsed = r.used
+	s.Chunks = len(r.entries)
+	return s
+}
+
+// ResetStats zeroes the hit/miss/eviction counters.
+func (r *Recycler) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = Stats{}
+}

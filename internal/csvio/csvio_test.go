@@ -1,0 +1,103 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sommelier/internal/mseed"
+	"sommelier/internal/storage"
+)
+
+func chunk() *mseed.File {
+	return &mseed.File{
+		Header: mseed.FileHeader{
+			Network: "IV", Station: "FIAM", Location: "00", Channel: "HHZ",
+			Quality: "D", Encoding: mseed.EncodingDeltaVarint, ByteOrder: "LE",
+		},
+		Segments: []mseed.Segment{
+			{
+				Header: mseed.SegmentHeader{
+					ID: 0, StartTime: time.Date(2010, 4, 20, 23, 0, 0, 0, time.UTC).UnixNano(),
+					SampleRate: 20, SampleCount: 4,
+				},
+				Samples: []int32{1, -2, 3, -4},
+			},
+		},
+	}
+}
+
+func TestExportLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := ExportChunk(&buf, 7, chunk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 4 {
+		t.Fatalf("rows = %d", rows)
+	}
+	rel, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows() != 4 {
+		t.Fatalf("loaded rows = %d", rel.Rows())
+	}
+	flat := rel.Flatten()
+	if got := storage.Int64s(flat.Cols[0])[0]; got != 7 {
+		t.Fatalf("file_id = %d", got)
+	}
+	vals := storage.Float64s(flat.Cols[3])
+	want := []float64{1, -2, 3, -4}
+	for i, w := range want {
+		if vals[i] != w {
+			t.Fatalf("value %d = %v", i, vals[i])
+		}
+	}
+	// Timestamps spaced by 50ms at 20 Hz.
+	ts := storage.Int64s(flat.Cols[2])
+	if ts[1]-ts[0] != int64(50*time.Millisecond) {
+		t.Fatalf("spacing = %d", ts[1]-ts[0])
+	}
+}
+
+func TestCSVIsTextAndLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := ExportChunk(&buf, 1, chunk()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "2010-04-20T23:00:00.0") {
+		t.Fatalf("timestamps not materialized: %q", text)
+	}
+	// The textual form must be far larger than the compressed binary
+	// (Table III's CSV blow-up).
+	var bin bytes.Buffer
+	if err := mseed.Write(&bin, chunk()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < bin.Len() {
+		t.Fatalf("CSV (%d B) smaller than binary (%d B)", buf.Len(), bin.Len())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n",
+		"x,0,2010-04-20T23:00:00.000000000,1\n",
+		"1,x,2010-04-20T23:00:00.000000000,1\n",
+		"1,0,notatime,1\n",
+		"1,0,2010-04-20T23:00:00.000000000,notanumber\n",
+	}
+	for i, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Blank lines are tolerated.
+	rel, err := LoadCSV(strings.NewReader("\n1,0,2010-04-20T23:00:00.000000000,5\n\n"))
+	if err != nil || rel.Rows() != 1 {
+		t.Fatalf("blank lines: %v, rows=%d", err, rel.Rows())
+	}
+}

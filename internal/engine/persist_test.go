@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sommelier/internal/registrar"
+)
+
+func TestDerivedSnapshotRoundTrip(t *testing.T) {
+	dir := genRepo(t, 2)
+	db := open(t, dir, registrar.Lazy)
+	// Derive some windows through a T2 query.
+	res, err := db.Query(tQueries()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DMd.Computed == 0 {
+		t.Fatal("nothing derived")
+	}
+	derived := db.MaterializedWindows()
+
+	snap := filepath.Join(t.TempDir(), "dmd.snap")
+	if err := db.SaveDerived(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine (restart) restores the view and reuses it: the
+	// same T2 query computes nothing.
+	db2 := open(t, dir, registrar.Lazy)
+	if err := db2.LoadDerived(snap); err != nil {
+		t.Fatal(err)
+	}
+	if db2.MaterializedWindows() != derived {
+		t.Fatalf("restored %d windows, want %d", db2.MaterializedWindows(), derived)
+	}
+	res2, err := db2.Query(tQueries()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DMd.Computed != 0 {
+		t.Fatalf("restored view recomputed %d windows", res2.DMd.Computed)
+	}
+	// Same answers from the restored view.
+	if renderRows(res2) != renderRows(res) {
+		t.Fatal("restored view changed the answer")
+	}
+}
+
+func TestLoadDerivedValidation(t *testing.T) {
+	dir := genRepo(t, 1)
+	db := open(t, dir, registrar.Lazy)
+	if err := db.LoadDerived(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDerived(bad); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	malformed := filepath.Join(t.TempDir(), "malformed")
+	if err := os.WriteFile(malformed, []byte("sommelier-dmd-v1\nonly,three,fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDerived(malformed); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+	// Empty snapshot (header only) is fine.
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, []byte("sommelier-dmd-v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDerived(empty); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveDerivedEagerDMd(t *testing.T) {
+	dir := genRepo(t, 1)
+	db := open(t, dir, registrar.EagerDMd)
+	snap := filepath.Join(t.TempDir(), "dmd.snap")
+	if err := db.SaveDerived(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring the full snapshot into a lazy engine makes its T2/T3
+	// queries as fast as eager_dmd's.
+	db2 := open(t, dir, registrar.Lazy)
+	if err := db2.LoadDerived(snap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query(tQueries()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DMd.Computed != 0 {
+		t.Fatal("restored eager snapshot still derived windows")
+	}
+	if res.Stats.ChunksLoaded != 0 {
+		t.Fatal("T2 on restored snapshot touched chunks")
+	}
+}

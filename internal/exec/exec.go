@@ -1,0 +1,762 @@
+// Package exec implements the two-stage query executor. Stage one
+// evaluates the metadata branch Qf of a plan to identify the chunks of
+// actual data the query needs; the run-time optimizer then rewrites
+// every actual-data scan into a union of cache-scans (for resident
+// chunks) and chunk-accesses (ingesting missing chunks through the
+// chunk loader, in parallel); stage two evaluates the remainder Qs.
+//
+// The same executor also serves the eager loading variants, which skip
+// lazy ingestion: ModeEagerFull scans the monolithically loaded data,
+// ModeEagerIndexed exploits the per-chunk clustering built by the
+// indexing investment to prune chunks with the stage-one result.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sommelier/internal/cache"
+	"sommelier/internal/expr"
+	"sommelier/internal/index"
+	"sommelier/internal/physical"
+	"sommelier/internal/plan"
+	"sommelier/internal/storage"
+	"sommelier/internal/table"
+)
+
+// Mode selects how actual-data scans are evaluated.
+type Mode uint8
+
+// Execution modes.
+const (
+	// ModeLazy ingests missing chunks during query evaluation (the
+	// paper's contribution).
+	ModeLazy Mode = iota
+	// ModeEagerFull scans all resident actual data; the eager_plain
+	// and eager_csv variants, whose data is one monolithic chunk.
+	ModeEagerFull
+	// ModeEagerIndexed prunes resident chunks with the stage-one
+	// result; the eager_index / eager_dmd variants, whose indexing
+	// investment clustered the data by chunk.
+	ModeEagerIndexed
+)
+
+// ChunkLoader ingests one chunk of an actual-data table from the
+// external repository.
+type ChunkLoader interface {
+	// LoadChunk extracts, transforms and returns the chunk's rows in
+	// the table's schema.
+	LoadChunk(tableName string, chunkID int64) (*storage.Relation, error)
+	// AllChunkIDs enumerates every chunk known for the table; the
+	// fallback when no metadata constrains an actual-data scan.
+	AllChunkIDs(tableName string) []int64
+}
+
+// MetaIndex is a hash index over some columns of a metadata table,
+// together with the flattened snapshot it indexes. The executor uses it
+// as the index-scan access path when a scan's filter pins every indexed
+// column with an equality constant.
+type MetaIndex struct {
+	Cols []string // unqualified column names, in index key order
+	Ix   *index.HashIndex
+	Data *storage.Batch
+}
+
+// Env is the execution environment of one database instance.
+type Env struct {
+	Catalog *table.Catalog
+	Mode    Mode
+	// Loader is required in ModeLazy.
+	Loader ChunkLoader
+	// Recyclers holds the chunk cache per actual-data table; nil (or
+	// a missing entry) disables caching for that table, making every
+	// lazily loaded chunk transient.
+	Recyclers map[string]*cache.Recycler
+	// MetaIndexes holds the index-scan accelerators per metadata
+	// table, built by the eager_index investment.
+	MetaIndexes map[string][]MetaIndex
+	// MaxParallel bounds concurrent chunk ingestion; 0 means
+	// GOMAXPROCS. 1 gives serial loading (the parallelization
+	// ablation).
+	MaxParallel int
+}
+
+// Stats reports what one query execution did.
+type Stats struct {
+	Stage1 time.Duration // metadata branch evaluation
+	Load   time.Duration // chunk ingestion (lazy only)
+	Stage2 time.Duration // remainder evaluation
+	// ChunksSelected is the number of chunks stage one identified;
+	// ChunksLoaded of those were ingested, CacheHits were resident.
+	ChunksSelected, ChunksLoaded, CacheHits int
+	RowsLoaded                              int64
+	// SampleFraction is 1 for exact answers; under approximative
+	// answering it is the fraction of selected chunks actually
+	// evaluated (COUNT/SUM-style aggregates scale by its inverse).
+	SampleFraction float64
+	// IndexScans counts metadata accesses served through the
+	// index-scan access path instead of a full scan.
+	IndexScans int
+}
+
+// Total is the end-to-end execution time.
+func (s Stats) Total() time.Duration { return s.Stage1 + s.Load + s.Stage2 }
+
+// Result is a completed query.
+type Result struct {
+	Names []string
+	Kinds []storage.Kind
+	Rel   *storage.Relation
+	Stats Stats
+}
+
+// Rows is shorthand for the result cardinality.
+func (r *Result) Rows() int { return r.Rel.Rows() }
+
+// Trace records, per logical plan node, the number of rows its
+// physical realization emitted in each stage: the substance of
+// EXPLAIN ANALYZE. Qf nodes execute in stage one and reappear as a
+// result-scan in stage two.
+type Trace struct {
+	rows map[plan.Node]*[2]int64
+}
+
+// Rows reports the rows node emitted in the given stage (1 or 2).
+func (t *Trace) Rows(n plan.Node, stage int) int64 {
+	if t == nil || t.rows == nil {
+		return 0
+	}
+	if c, ok := t.rows[n]; ok {
+		return c[stage-1]
+	}
+	return 0
+}
+
+func (t *Trace) counter(n plan.Node, inStage1 bool) *int64 {
+	if t.rows == nil {
+		t.rows = make(map[plan.Node]*[2]int64)
+	}
+	c, ok := t.rows[n]
+	if !ok {
+		c = &[2]int64{}
+		t.rows[n] = c
+	}
+	if inStage1 {
+		return &c[0]
+	}
+	return &c[1]
+}
+
+// Execute runs a compiled plan in the environment.
+func Execute(env *Env, p *plan.Plan) (*Result, error) {
+	return ExecuteContext(context.Background(), env, p)
+}
+
+// ExecuteTraced runs a compiled plan and additionally returns the
+// per-operator row counts.
+func ExecuteTraced(ctx context.Context, env *Env, p *plan.Plan) (*Result, *Trace, error) {
+	ex := &executor{ctx: ctx, env: env, plan: p, trace: &Trace{}}
+	res, err := ex.run()
+	return res, ex.trace, err
+}
+
+// ExecuteContext runs a compiled plan, honouring cancellation: the
+// executor checks the context between batches and before every chunk
+// ingestion, so long-running lazy loads abort promptly.
+func ExecuteContext(ctx context.Context, env *Env, p *plan.Plan) (*Result, error) {
+	ex := &executor{ctx: ctx, env: env, plan: p}
+	return ex.run()
+}
+
+type executor struct {
+	ctx   context.Context
+	env   *Env
+	plan  *plan.Plan
+	trace *Trace
+
+	qfRel   *storage.Relation
+	qfNames []string
+	qfKinds []storage.Kind
+
+	// selected chunk IDs per actual-data table, from stage one.
+	selected map[string][]int64
+	// loaded chunks are pinned for the duration of the query and
+	// offered to the recycler only after stage two, so that an
+	// admission cannot evict a chunk the in-flight query still needs.
+	loaded []loadedChunk
+
+	stats Stats
+}
+
+type loadedChunk struct {
+	tableName string
+	id        int64
+	bytes     int64
+	cost      time.Duration
+}
+
+func (ex *executor) run() (*Result, error) {
+	if ex.ctx == nil {
+		ex.ctx = context.Background()
+	}
+	ex.stats.SampleFraction = 1
+	needStage1 := ex.plan.Qf != nil && ex.plan.TwoStage && ex.env.Mode != ModeEagerFull
+	if needStage1 {
+		t0 := time.Now()
+		op, err := ex.build(ex.plan.Qf, true)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ex.drain(op)
+		if err != nil {
+			return nil, fmt.Errorf("exec: stage one: %w", err)
+		}
+		ex.qfRel = rel
+		ex.qfNames = ex.plan.Qf.Names()
+		ex.qfKinds = ex.plan.Qf.Kinds()
+		ex.stats.Stage1 = time.Since(t0)
+		if err := ex.selectChunks(); err != nil {
+			return nil, err
+		}
+		ex.applySampling()
+		if ex.env.Mode == ModeLazy {
+			t1 := time.Now()
+			if err := ex.ingestSelected(); err != nil {
+				return nil, err
+			}
+			ex.stats.Load = time.Since(t1)
+		}
+	}
+	if ex.plan.TwoStage && ex.env.Mode == ModeLazy && ex.selected == nil {
+		// A query on actual data with no metadata branch at all: the
+		// worst case the rule set tries to avoid — every chunk is
+		// required (the paper's "no alternative to loading all AD").
+		if ex.env.Loader == nil {
+			return nil, fmt.Errorf("exec: lazy mode requires a chunk loader")
+		}
+		ex.selected = make(map[string][]int64)
+		for _, tn := range ex.plan.ADTables {
+			ex.selected[tn] = ex.env.Loader.AllChunkIDs(tn)
+			ex.stats.ChunksSelected += len(ex.selected[tn])
+		}
+		t1 := time.Now()
+		if err := ex.ingestSelected(); err != nil {
+			return nil, err
+		}
+		ex.stats.Load = time.Since(t1)
+	}
+	t2 := time.Now()
+	op, err := ex.build(ex.plan.Root, false)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := ex.drain(op)
+	ex.finalizeCache()
+	if err != nil {
+		return nil, fmt.Errorf("exec: stage two: %w", err)
+	}
+	ex.stats.Stage2 = time.Since(t2)
+	return &Result{
+		Names: ex.plan.Root.Names(),
+		Kinds: ex.plan.Root.Kinds(),
+		Rel:   rel,
+		Stats: ex.stats,
+	}, nil
+}
+
+// drain pulls an operator to completion, checking for cancellation
+// between batches.
+func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
+	out := storage.NewRelation()
+	for {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out.Append(b)
+	}
+}
+
+// selectChunks extracts, per actual-data table, the distinct chunk IDs
+// from the stage-one result: result-scan(Qf) as a set of files.
+func (ex *executor) selectChunks() error {
+	ex.selected = make(map[string][]int64)
+	flat := ex.qfRel.Flatten()
+	for _, tn := range ex.plan.ADTables {
+		t, ok := ex.env.Catalog.Table(tn)
+		if !ok {
+			return fmt.Errorf("exec: unknown actual-data table %q", tn)
+		}
+		col := -1
+		suffix := "." + t.ChunkKey
+		for i, n := range ex.qfNames {
+			if strings.HasSuffix(n, suffix) {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			// No metadata column constrains this table: worst case,
+			// all chunks are required.
+			if ex.env.Loader != nil {
+				ex.selected[tn] = ex.env.Loader.AllChunkIDs(tn)
+			} else {
+				ex.selected[tn] = t.ChunkIDs()
+			}
+			ex.stats.ChunksSelected += len(ex.selected[tn])
+			continue
+		}
+		seen := make(map[int64]bool)
+		var ids []int64
+		if flat.Len() > 0 {
+			for _, v := range storage.Int64s(flat.Cols[col]) {
+				if !seen[v] {
+					seen[v] = true
+					ids = append(ids, v)
+				}
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ex.selected[tn] = ids
+		ex.stats.ChunksSelected += len(ids)
+	}
+	return nil
+}
+
+// applySampling implements the paper's §VIII approximative query
+// answering: when the plan asks for a p% sample, only ⌈p%⌉ of each
+// table's selected chunks are evaluated. The subset is chosen by a
+// deterministic per-chunk hash so repeated runs of the same query see
+// the same sample (and so the sample is uncorrelated with chunk order).
+func (ex *executor) applySampling() {
+	pct := ex.plan.SamplePct
+	if pct <= 0 || pct >= 100 || ex.selected == nil {
+		return
+	}
+	var total, kept int
+	for tn, ids := range ex.selected {
+		if len(ids) == 0 {
+			continue
+		}
+		n := (len(ids)*int(pct*100) + 9999) / 10000 // ceil(len × pct/100)
+		if n < 1 {
+			n = 1
+		}
+		sorted := append([]int64{}, ids...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return chunkHash(sorted[i]) < chunkHash(sorted[j])
+		})
+		sample := sorted[:n]
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		total += len(ids)
+		kept += n
+		ex.selected[tn] = sample
+	}
+	if total > 0 {
+		ex.stats.SampleFraction = float64(kept) / float64(total)
+		ex.stats.ChunksSelected = kept
+	}
+}
+
+// chunkHash is a fixed 64-bit mix for deterministic sampling.
+func chunkHash(id int64) uint64 {
+	x := uint64(id) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// ingestSelected loads the missing selected chunks through the chunk
+// loader, in parallel over chunks (the paper's static parallelization:
+// the degree of parallelism is the number of selected chunks, bounded
+// by the configured maximum).
+func (ex *executor) ingestSelected() error {
+	if ex.env.Loader == nil {
+		return fmt.Errorf("exec: lazy mode requires a chunk loader")
+	}
+	for _, tn := range ex.plan.ADTables {
+		t, _ := ex.env.Catalog.Table(tn)
+		rec := ex.env.Recyclers[tn]
+		var missing []int64
+		for _, id := range ex.selected[tn] {
+			resident := false
+			if rec != nil {
+				resident = rec.Contains(id)
+			} else {
+				_, resident = t.Chunk(id)
+			}
+			if resident {
+				ex.stats.CacheHits++
+			} else {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		par := ex.env.MaxParallel
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		if par > len(missing) {
+			par = len(missing)
+		}
+		type loaded struct {
+			id   int64
+			rel  *storage.Relation
+			cost time.Duration
+			err  error
+		}
+		results := make([]loaded, len(missing))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for i, id := range missing {
+			wg.Add(1)
+			go func(i int, id int64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if err := ex.ctx.Err(); err != nil {
+					results[i] = loaded{id: id, err: err}
+					return
+				}
+				t0 := time.Now()
+				rel, err := ex.env.Loader.LoadChunk(tn, id)
+				results[i] = loaded{id: id, rel: rel, cost: time.Since(t0), err: err}
+			}(i, id)
+		}
+		wg.Wait()
+		for _, r := range results {
+			if r.err != nil {
+				return fmt.Errorf("exec: chunk-access(%s, %d): %w", tn, r.id, r.err)
+			}
+			if err := t.AppendChunk(r.id, r.rel); err != nil {
+				return err
+			}
+			ex.stats.ChunksLoaded++
+			ex.stats.RowsLoaded += int64(r.rel.Rows())
+			ex.loaded = append(ex.loaded, loadedChunk{
+				tableName: tn, id: r.id, bytes: r.rel.MemSize(), cost: r.cost,
+			})
+		}
+	}
+	return nil
+}
+
+// finalizeCache offers the chunks loaded by this query to the
+// recyclers; refused chunks are dropped immediately (transient load).
+// Admission may evict other chunks via the recycler's callback.
+func (ex *executor) finalizeCache() {
+	for _, lc := range ex.loaded {
+		t, _ := ex.env.Catalog.Table(lc.tableName)
+		rec := ex.env.Recyclers[lc.tableName]
+		if rec == nil || !rec.Admit(lc.id, lc.bytes, lc.cost) {
+			t.DropChunk(lc.id)
+		}
+	}
+	ex.loaded = nil
+}
+
+// build constructs the physical operator tree for a plan subtree.
+// inStage1 marks that we are compiling Qf itself; otherwise an
+// encountered Qf node is replaced by a result-scan over the
+// materialized stage-one result.
+func (ex *executor) build(n plan.Node, inStage1 bool) (physical.Operator, error) {
+	op, err := ex.buildInner(n, inStage1)
+	if err != nil || ex.trace == nil {
+		return op, err
+	}
+	return physical.NewCounted(op, ex.trace.counter(n, inStage1)), nil
+}
+
+func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, error) {
+	if !inStage1 && n == ex.plan.Qf && ex.qfRel != nil {
+		return physical.NewRelScan(ex.qfRel, ex.qfNames, ex.qfKinds, nil)
+	}
+	switch n := n.(type) {
+	case *plan.Scan:
+		return ex.buildScan(n)
+	case *plan.Join:
+		l, err := ex.build(n.L, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.build(n.R, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Preds) == 0 {
+			return physical.NewCrossJoin(l, r), nil
+		}
+		var lk, rk []int
+		for _, p := range n.Preds {
+			li, ri := indexOf(l.Names(), p.Left), indexOf(r.Names(), p.Right)
+			if li < 0 || ri < 0 {
+				// The predicate may be written in the other
+				// direction.
+				li, ri = indexOf(l.Names(), p.Right), indexOf(r.Names(), p.Left)
+			}
+			if li < 0 || ri < 0 {
+				return nil, fmt.Errorf("exec: join predicate %v unresolvable", p)
+			}
+			lk = append(lk, li)
+			rk = append(rk, ri)
+		}
+		return physical.NewHashJoin(l, r, lk, rk)
+	case *plan.Select:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewFilter(in, n.Pred)
+	case *plan.Project:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(n.Cols))
+		exprs := make([]expr.Expr, len(n.Cols))
+		for i, c := range n.Cols {
+			names[i], exprs[i] = c.Name, c.Expr
+		}
+		return physical.NewProject(in, names, exprs)
+	case *plan.Aggregate:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		var groupCols []int
+		for _, g := range n.GroupBy {
+			gi := indexOf(in.Names(), g)
+			if gi < 0 {
+				return nil, fmt.Errorf("exec: group column %q unresolvable", g)
+			}
+			groupCols = append(groupCols, gi)
+		}
+		aggs := make([]physical.AggColumn, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = physical.AggColumn{Func: aggFuncID(a.Func), Arg: a.Arg, Name: a.Name}
+		}
+		return physical.NewHashAggregate(in, groupCols, aggs)
+	case *plan.Sort:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]physical.SortKey, len(n.Keys))
+		for i, k := range n.Keys {
+			ki := indexOf(in.Names(), k.Col)
+			if ki < 0 {
+				return nil, fmt.Errorf("exec: sort column %q unresolvable", k.Col)
+			}
+			keys[i] = physical.SortKey{Col: ki, Desc: k.Desc}
+		}
+		return physical.NewSort(in, keys)
+	case *plan.Limit:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewLimit(in, n.N), nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// buildScan realizes the access paths. Metadata tables use a plain
+// scan; actual-data tables are rewritten according to the mode and the
+// stage-one chunk selection (rewrite rule (1) of the paper, with the
+// scan predicate pushed into every branch).
+func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
+	t, ok := ex.env.Catalog.Table(n.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
+	}
+	names, kinds := n.Names(), n.Kinds()
+	if t.Class != table.ActualData {
+		if op := ex.tryIndexScan(n, names, kinds); op != nil {
+			return op, nil
+		}
+		return physical.NewRelScan(t.Data(), names, kinds, n.Filter)
+	}
+	var ids []int64
+	switch ex.env.Mode {
+	case ModeEagerFull:
+		ids = t.ChunkIDs()
+	case ModeEagerIndexed:
+		if ex.selected != nil {
+			// Intersect selection with residency: the clustered
+			// index prunes chunks, but eager data is fully resident.
+			for _, id := range ex.selected[n.Table] {
+				if _, resident := t.Chunk(id); resident {
+					ids = append(ids, id)
+				}
+			}
+		} else {
+			ids = t.ChunkIDs()
+		}
+	default: // ModeLazy: everything selected was ingested above.
+		if ex.selected != nil {
+			ids = ex.selected[n.Table]
+		} else {
+			ids = t.ChunkIDs()
+		}
+	}
+	if len(ids) == 0 {
+		return physical.NewEmpty(names, kinds), nil
+	}
+	ops := make([]physical.Operator, 0, len(ids))
+	for _, id := range ids {
+		rel, resident := t.Chunk(id)
+		if !resident {
+			return nil, fmt.Errorf("exec: chunk %d of %s not resident at stage two", id, n.Table)
+		}
+		// cache-scan / chunk-access branch with the selection pushed
+		// down (NewRelScan clones and binds the predicate).
+		op, err := physical.NewRelScan(rel, names, kinds, n.Filter)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return physical.NewUnionAll(ops...)
+}
+
+// tryIndexScan serves a metadata scan through a hash index when the
+// pushed-down filter pins every indexed column with an equality
+// constant; remaining conjuncts are applied on top. Returns nil when no
+// index applies.
+func (ex *executor) tryIndexScan(n *plan.Scan, names []string, kinds []storage.Kind) physical.Operator {
+	if n.Filter == nil || ex.env.MetaIndexes == nil {
+		return nil
+	}
+	conjuncts := expr.Conjuncts(n.Filter)
+	for _, mi := range ex.env.MetaIndexes[n.Table] {
+		key, residual, ok := matchIndexKey(mi, n.Table, conjuncts)
+		if !ok {
+			continue
+		}
+		ex.stats.IndexScans++
+		var op physical.Operator = physical.NewIndexScan(mi.Ix, mi.Data, names, kinds, key)
+		if pred := expr.Conjoin(residual); pred != nil {
+			f, err := physical.NewFilter(op, pred)
+			if err != nil {
+				return nil
+			}
+			op = f
+		}
+		return op
+	}
+	return nil
+}
+
+// matchIndexKey extracts an index key from equality conjuncts covering
+// all of mi.Cols, returning the unused conjuncts as residual filter.
+func matchIndexKey(mi MetaIndex, tab string, conjuncts []expr.Expr) (index.Key, []expr.Expr, bool) {
+	var key index.Key
+	iSlot, sSlot := 0, 0
+	used := make([]bool, len(conjuncts))
+	for _, col := range mi.Cols {
+		found := false
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			name, k, ok := expr.EqConst(c)
+			if !ok || (name != col && name != tab+"."+col) {
+				continue
+			}
+			switch k.K {
+			case storage.KindInt64, storage.KindTime:
+				if err := setKeyInt(&key, &iSlot, k.I); err != nil {
+					return key, nil, false
+				}
+			case storage.KindString:
+				if err := setKeyStr(&key, &sSlot, k.S); err != nil {
+					return key, nil, false
+				}
+			default:
+				continue
+			}
+			used[ci] = true
+			found = true
+			break
+		}
+		if !found {
+			return key, nil, false
+		}
+	}
+	var residual []expr.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			residual = append(residual, c)
+		}
+	}
+	return key, residual, true
+}
+
+func setKeyInt(k *index.Key, slot *int, v int64) error {
+	switch *slot {
+	case 0:
+		k.I0 = v
+	case 1:
+		k.I1 = v
+	case 2:
+		k.I2 = v
+	default:
+		return fmt.Errorf("exec: index key too wide")
+	}
+	*slot++
+	return nil
+}
+
+func setKeyStr(k *index.Key, slot *int, v string) error {
+	switch *slot {
+	case 0:
+		k.S0 = v
+	case 1:
+		k.S1 = v
+	default:
+		return fmt.Errorf("exec: index key too wide")
+	}
+	*slot++
+	return nil
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func aggFuncID(f plan.AggFunc) physical.AggFuncID {
+	switch f {
+	case plan.AggCount:
+		return physical.AggCount
+	case plan.AggSum:
+		return physical.AggSum
+	case plan.AggAvg:
+		return physical.AggAvg
+	case plan.AggMin:
+		return physical.AggMin
+	case plan.AggMax:
+		return physical.AggMax
+	default:
+		return physical.AggStddev
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// fmtTS renders a nanosecond timestamp as a SQL literal.
+func fmtTS(ns int64) string {
+	return time.Unix(0, ns).UTC().Format("2006-01-02T15:04:05.000")
+}
+
+// Representative queries for the five types of Table I, parameterized
+// by station and time range — "each type of query selects 2 days of
+// data from one station" in the paper's §VI-C; the range is widened for
+// the selectivity sweeps.
+
+// queryT1 joins GMd tables with a selection on station.
+func queryT1(station string) string {
+	return fmt.Sprintf(
+		`SELECT station, COUNT(*) AS n FROM F WHERE station = '%s' GROUP BY station`, station)
+}
+
+// queryT2 refers to the DMd table with selections on station and
+// window_start_ts.
+func queryT2(station string, from, to int64) string {
+	return fmt.Sprintf(`SELECT window_start_ts, window_max_val, window_std_dev FROM H
+		WHERE window_station = '%s'
+		  AND window_start_ts >= '%s' AND window_start_ts < '%s'`,
+		station, fmtTS(from), fmtTS(to))
+}
+
+// queryT3 is the T2 query joined with the GMd tables.
+func queryT3(station string, from, to int64) string {
+	return fmt.Sprintf(`SELECT H.window_start_ts, H.window_max_val FROM windowdataview_md
+		WHERE F.station = '%s'
+		  AND H.window_start_ts >= '%s' AND H.window_start_ts < '%s'`,
+		station, fmtTS(from), fmtTS(to))
+}
+
+// queryT4 aggregates actual data joined with GMd, with selections on
+// both.
+func queryT4(station string, from, to int64) string {
+	return fmt.Sprintf(`SELECT AVG(D.sample_value) FROM dataview
+		WHERE F.station = '%s' AND D.sample_time >= '%s' AND D.sample_time < '%s'`,
+		station, fmtTS(from), fmtTS(to))
+}
+
+// queryT5 aggregates actual data joined with GMd and DMd, with
+// selections on GMd and DMd but (per §VI-A) not on AD.
+func queryT5(station string, from, to int64) string {
+	return fmt.Sprintf(`SELECT AVG(D.sample_value) FROM windowdataview
+		WHERE F.station = '%s'
+		  AND H.window_start_ts >= '%s' AND H.window_start_ts < '%s'
+		  AND H.window_max_val > -1000000000`,
+		station, fmtTS(from), fmtTS(to))
+}
+
+// queryOfType dispatches on the paper's taxonomy.
+func queryOfType(qt int, station string, from, to int64) string {
+	switch qt {
+	case 1:
+		return queryT1(station)
+	case 2:
+		return queryT2(station, from, to)
+	case 3:
+		return queryT3(station, from, to)
+	case 4:
+		return queryT4(station, from, to)
+	case 5:
+		return queryT5(station, from, to)
+	default:
+		panic(fmt.Sprintf("experiments: no query of type %d", qt))
+	}
+}
+
+// rangeFor returns the time range covering pct percent of [start, end)
+// beginning at offset offPct percent.
+func rangeFor(start, end int64, offPct, pct float64) (int64, int64) {
+	span := end - start
+	lo := start + int64(offPct/100*float64(span))
+	hi := lo + int64(pct/100*float64(span))
+	if hi > end {
+		hi = end
+	}
+	return lo, hi
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// RenderTableII formats Table II in the paper's layout.
+func RenderTableII(rows []DatasetRow) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II — DATASET\n")
+	sb.WriteString(fmt.Sprintf("%-8s %-10s %10s %10s %14s\n", "sf", "data of", "files", "segments", "data records"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8s %-10s %10d %10d %14d\n",
+			fmt.Sprintf("sf-%d", r.SF), fmt.Sprintf("%d days", r.Days), r.Files, r.Segments, r.DataRecords))
+	}
+	return sb.String()
+}
+
+// RenderTableIII formats Table III in the paper's layout.
+func RenderTableIII(rows []SizeRow) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE III — DATASET SIZES\n")
+	sb.WriteString(fmt.Sprintf("%-8s %12s %12s %12s %12s %12s\n", "sf", "mSEED", "CSV", "DB", "+keys", "Lazy"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8s %12s %12s %12s %12s %12s\n",
+			fmt.Sprintf("sf-%d", r.SF), fmtBytes(r.MseedBytes), fmtBytes(r.CSVBytes),
+			fmtBytes(r.DBBytes), fmtBytes(r.DBKeysBytes), fmtBytes(r.LazyBytes)))
+	}
+	return sb.String()
+}
+
+// RenderFig6 formats the loading cost breakdown.
+func RenderFig6(rows []LoadingRow) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 6 — LOADING COST BREAKDOWN\n")
+	sb.WriteString(fmt.Sprintf("%-8s %-12s %10s %12s %10s %10s %10s %10s %12s\n",
+		"sf", "approach", "metadata", "mSEED→CSV", "CSV→DB", "mSEED→DB", "indexing", "DMd", "total"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8s %-12s %10s %12s %10s %10s %10s %10s %12s\n",
+			fmt.Sprintf("sf-%d", r.SF), r.Approach, fmtDur(r.Metadata), fmtDur(r.MseedToCSV),
+			fmtDur(r.CSVToDB), fmtDur(r.MseedToDB), fmtDur(r.Indexing), fmtDur(r.DMdDerivation),
+			fmtDur(r.Total)))
+	}
+	return sb.String()
+}
+
+// RenderFig7 formats single-query performance per query type.
+func RenderFig7(rows []QueryPerfRow) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 7 — SINGLE QUERY PERFORMANCE (COLD / HOT)\n")
+	sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %12s %12s\n", "query", "sf", "approach", "cold", "hot"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %12s %12s\n",
+			fmt.Sprintf("T%d", r.QueryType), fmt.Sprintf("sf-%d", r.SF), r.Approach,
+			fmtDur(r.Cold), fmtDur(r.Hot)))
+	}
+	return sb.String()
+}
+
+// RenderFig8 formats data-to-insight times per selectivity level.
+func RenderFig8(rows []InsightRow) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 8 — DATA-TO-INSIGHT TIME VS QUERY SELECTIVITY (FIAM)\n")
+	sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %6s %12s %12s %12s\n",
+		"query", "sf", "approach", "sel%", "prep", "first query", "total"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %6d %12s %12s %12s\n",
+			fmt.Sprintf("T%d", r.QueryType), fmt.Sprintf("sf-%d", r.SF), r.Approach,
+			r.SelectivityPct, fmtDur(r.Prep), fmtDur(r.FirstQuery), fmtDur(r.Total())))
+	}
+	return sb.String()
+}
+
+// RenderFig9 formats cumulative workload times.
+func RenderFig9(rows []WorkloadRow) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 9 — WORKLOAD PERFORMANCE VS WORKLOAD SELECTIVITY (FIAM)\n")
+	sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %6s %8s %12s %12s %12s\n",
+		"query", "sf", "approach", "wsel%", "queries", "prep", "workload", "cumulative"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-6s %-8s %-12s %6d %8d %12s %12s %12s\n",
+			fmt.Sprintf("T%d", r.QueryType), fmt.Sprintf("sf-%d", r.SF), r.Approach,
+			r.WorkloadSelPct, r.NQueries, fmtDur(r.Prep), fmtDur(r.Workload), fmtDur(r.Cumulative())))
+	}
+	return sb.String()
+}
+
+// RenderAblations formats the three ablation studies.
+func RenderAblations(par []ParallelLoadRow, pol []CachePolicyRow, rules []JoinRuleRow) string {
+	var sb strings.Builder
+	sb.WriteString("ABLATION — PARALLEL VS SERIAL LAZY INGESTION\n")
+	for _, r := range par {
+		mode := "all cores"
+		if r.MaxParallel == 1 {
+			mode = "serial"
+		}
+		sb.WriteString(fmt.Sprintf("  sf-%-4d %-10s %4d chunks  %12s\n", r.SF, mode, r.Chunks, fmtDur(r.QueryTime)))
+	}
+	sb.WriteString("ABLATION — RECYCLER POLICY UNDER SKEWED REUSE\n")
+	for _, r := range pol {
+		sb.WriteString(fmt.Sprintf("  %-12s hits=%-6d misses=%-6d evictions=%-6d %12s\n",
+			r.Policy, r.Hits, r.Misses, r.Evictions, fmtDur(r.Total)))
+	}
+	sb.WriteString("ABLATION — JOIN RULES R1–R4: CHUNKS TOUCHED\n")
+	for _, r := range rules {
+		sb.WriteString(fmt.Sprintf("  %-28s with rules: %d   without: %d\n", r.Query, r.WithRules, r.WithoutRules))
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"sommelier/internal/registrar"
+)
+
+// DatasetRow is one line of Table II.
+type DatasetRow struct {
+	SF          int
+	Days        int
+	Files       int
+	Segments    int
+	DataRecords int64
+}
+
+// TableII reports the dataset characteristics per scale factor.
+func TableII(cfg Config) ([]DatasetRow, error) {
+	var rows []DatasetRow
+	for _, sf := range cfg.ScaleFactors {
+		_, man, err := cfg.Repo(sf, false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DatasetRow{
+			SF:          sf,
+			Days:        cfg.BaseDays * sf,
+			Files:       len(man.Files),
+			Segments:    man.TotalSegments(),
+			DataRecords: man.TotalSamples(),
+		})
+	}
+	return rows, nil
+}
+
+// SizeRow is one line of Table III.
+type SizeRow struct {
+	SF          int
+	MseedBytes  int64 // repository on disk
+	CSVBytes    int64 // textual representation
+	DBBytes     int64 // plainly loaded database (data + metadata)
+	DBKeysBytes int64 // clustered + indexed database
+	LazyBytes   int64 // metadata only
+}
+
+// TableIII measures the storage footprint of every representation.
+func TableIII(cfg Config) ([]SizeRow, error) {
+	var rows []SizeRow
+	for _, sf := range cfg.ScaleFactors {
+		dir, man, err := cfg.Repo(sf, false)
+		if err != nil {
+			return nil, err
+		}
+		row := SizeRow{SF: sf, MseedBytes: man.TotalBytes()}
+
+		dbCSV, err := openDB(dir, registrar.EagerCSV)
+		if err != nil {
+			return nil, err
+		}
+		repCSV := dbCSV.Report()
+		row.CSVBytes = repCSV.CSVBytes
+		row.DBBytes = repCSV.DataBytes + repCSV.MetadataBytes
+
+		dbIdx, err := openDB(dir, registrar.EagerIndex)
+		if err != nil {
+			return nil, err
+		}
+		repIdx := dbIdx.Report()
+		row.DBKeysBytes = repIdx.DataBytes + repIdx.MetadataBytes + repIdx.IndexBytes
+
+		dbLazy, err := openDB(dir, registrar.Lazy)
+		if err != nil {
+			return nil, err
+		}
+		row.LazyBytes = dbLazy.Report().MetadataBytes
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

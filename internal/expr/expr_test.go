@@ -1,0 +1,342 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sommelier/internal/storage"
+)
+
+func testBatch() (*storage.Batch, []string, []storage.Kind) {
+	b := storage.NewBatch(
+		storage.NewInt64Column([]int64{1, 2, 3, 4}),
+		storage.NewFloat64Column([]float64{1.5, -2, 0, 4}),
+		storage.NewStringColumn([]string{"ISK", "FIAM", "ISK", "XYZ"}),
+		storage.NewTimeColumn([]int64{100, 200, 300, 400}),
+	)
+	names := []string{"F.id", "D.val", "F.station", "D.ts"}
+	kinds := []storage.Kind{storage.KindInt64, storage.KindFloat64, storage.KindString, storage.KindTime}
+	return b, names, kinds
+}
+
+func mustBind(t *testing.T, e Expr, names []string, kinds []storage.Kind) {
+	t.Helper()
+	if _, err := e.Bind(names, kinds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColRefBindQualified(t *testing.T) {
+	b, names, kinds := testBatch()
+	c := Col("station") // unqualified matches F.station
+	k, err := c.Bind(names, kinds)
+	if err != nil || k != storage.KindString {
+		t.Fatalf("bind: %v %v", k, err)
+	}
+	if got := c.Eval(b).(*storage.StringColumn).Value(1); got != "FIAM" {
+		t.Fatalf("eval = %q", got)
+	}
+	if _, err := Col("nope").Bind(names, kinds); err == nil {
+		t.Fatal("binding unknown column should fail")
+	}
+}
+
+func TestCmpIntConst(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewCmp(GT, Col("F.id"), Int(2))
+	mustBind(t, e, names, kinds)
+	got := storage.Bools(e.Eval(b))
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v", i, got)
+		}
+	}
+}
+
+func TestCmpIntFloatPromotion(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewCmp(LT, Col("F.id"), Col("D.val"))
+	mustBind(t, e, names, kinds)
+	got := storage.Bools(e.Eval(b))
+	want := []bool{true, false, false, false} // 1<1.5, 2<-2, 3<0, 4<4
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v", i, got)
+		}
+	}
+}
+
+func TestCmpStringDictFastPath(t *testing.T) {
+	b, names, kinds := testBatch()
+	eq := NewCmp(EQ, Col("F.station"), Str("ISK"))
+	mustBind(t, eq, names, kinds)
+	got := storage.Bools(eq.Eval(b))
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eq row %d: %v", i, got)
+		}
+	}
+	ne := NewCmp(NE, Col("F.station"), Str("ISK"))
+	mustBind(t, ne, names, kinds)
+	gotNE := storage.Bools(ne.Eval(b))
+	for i := range want {
+		if gotNE[i] == got[i] {
+			t.Fatalf("ne row %d should complement eq", i)
+		}
+	}
+	// Absent constant: all false for EQ, all true for NE.
+	absent := NewCmp(EQ, Col("F.station"), Str("ZZZ"))
+	mustBind(t, absent, names, kinds)
+	for i, v := range storage.Bools(absent.Eval(b)) {
+		if v {
+			t.Fatalf("row %d matched absent constant", i)
+		}
+	}
+}
+
+func TestCmpTime(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewCmp(GE, Col("D.ts"), Time(300))
+	mustBind(t, e, names, kinds)
+	got := storage.Bools(e.Eval(b))
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v", i, got)
+		}
+	}
+}
+
+func TestLogicAndOrNot(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewAnd(
+		NewCmp(GT, Col("F.id"), Int(1)),
+		NewNot(NewCmp(EQ, Col("F.station"), Str("XYZ"))),
+	)
+	mustBind(t, e, names, kinds)
+	got := storage.Bools(e.Eval(b))
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("and row %d: %v", i, got)
+		}
+	}
+	o := NewOr(NewCmp(EQ, Col("F.id"), Int(1)), NewCmp(EQ, Col("F.id"), Int(4)))
+	mustBind(t, o, names, kinds)
+	gotOr := storage.Bools(o.Eval(b))
+	wantOr := []bool{true, false, false, true}
+	for i := range wantOr {
+		if gotOr[i] != wantOr[i] {
+			t.Fatalf("or row %d: %v", i, gotOr)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	_, names, kinds := testBatch()
+	cases := []Expr{
+		NewCmp(EQ, Col("F.station"), Int(1)),    // string vs int
+		NewAnd(Col("F.id"), Bool(true)),         // non-bool operand
+		NewNot(Col("F.id")),                     // non-bool operand
+		NewArith(Add, Col("F.station"), Int(1)), // string arithmetic
+		NewCmp(LT, Col("F.station"), Col("F.id")),
+	}
+	for i, e := range cases {
+		if _, err := e.Bind(names, kinds); err == nil {
+			t.Errorf("case %d (%s): expected bind error", i, e)
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewArith(Mul, Col("F.id"), Int(3))
+	k, err := e.Bind(names, kinds)
+	if err != nil || k != storage.KindInt64 {
+		t.Fatalf("bind: %v %v", k, err)
+	}
+	got := storage.Int64s(e.Eval(b))
+	for i, v := range []int64{3, 6, 9, 12} {
+		if got[i] != v {
+			t.Fatalf("mul row %d = %d", i, got[i])
+		}
+	}
+	d := NewArith(Div, Col("F.id"), Int(2))
+	k, err = d.Bind(names, kinds)
+	if err != nil || k != storage.KindFloat64 {
+		t.Fatalf("div should be float: %v %v", k, err)
+	}
+	if got := storage.Float64s(d.Eval(b)); got[2] != 1.5 {
+		t.Fatalf("3/2 = %v", got[2])
+	}
+}
+
+func TestConjunctsConjoin(t *testing.T) {
+	a := NewCmp(EQ, Col("x"), Int(1))
+	b := NewCmp(EQ, Col("y"), Int(2))
+	c := NewCmp(EQ, Col("z"), Int(3))
+	e := NewAnd(NewAnd(a, b), c)
+	cj := Conjuncts(e)
+	if len(cj) != 3 {
+		t.Fatalf("conjuncts = %d", len(cj))
+	}
+	if Conjoin(nil) != nil {
+		t.Fatal("conjoin of nothing should be nil")
+	}
+	if got := Conjoin([]Expr{a}); got != a {
+		t.Fatal("conjoin of one should be identity")
+	}
+	if got := Conjoin(cj); len(Conjuncts(got)) != 3 {
+		t.Fatal("conjoin lost conjuncts")
+	}
+}
+
+func TestColumnsTables(t *testing.T) {
+	e := NewAnd(
+		NewCmp(EQ, Col("F.station"), Str("ISK")),
+		NewCmp(GT, Col("D.ts"), Col("F.id")),
+	)
+	cols := Columns(e)
+	if len(cols) != 3 {
+		t.Fatalf("columns = %v", cols)
+	}
+	tabs := Tables(e)
+	if len(tabs) != 2 || tabs[0] != "F" || tabs[1] != "D" {
+		t.Fatalf("tables = %v", tabs)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	b, names, kinds := testBatch()
+	e := NewCmp(EQ, Col("F.station"), Str("ISK"))
+	mustBind(t, e, names, kinds)
+	idx := SelectRows(e, b)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("idx = %v", idx)
+	}
+	all := SelectRows(nil, b)
+	if len(all) != 4 {
+		t.Fatalf("nil predicate should select all, got %v", all)
+	}
+}
+
+func TestEqConstRangeConstJoinEq(t *testing.T) {
+	if col, c, ok := EqConst(NewCmp(EQ, Col("F.station"), Str("ISK"))); !ok || col != "F.station" || c.S != "ISK" {
+		t.Fatal("EqConst direct failed")
+	}
+	if col, _, ok := EqConst(NewCmp(EQ, Str("ISK"), Col("F.station"))); !ok || col != "F.station" {
+		t.Fatal("EqConst reversed failed")
+	}
+	if _, _, ok := EqConst(NewCmp(LT, Col("a"), Int(1))); ok {
+		t.Fatal("EqConst accepted inequality")
+	}
+	col, op, c, ok := RangeConst(NewCmp(LT, Int(5), Col("a")))
+	if !ok || col != "a" || op != GT || c.I != 5 {
+		t.Fatalf("RangeConst flip failed: %v %v %v %v", col, op, c, ok)
+	}
+	l, r, ok := JoinEq(NewCmp(EQ, Col("F.file_id"), Col("S.file_id")))
+	if !ok || l != "F.file_id" || r != "S.file_id" {
+		t.Fatal("JoinEq failed")
+	}
+	if _, _, ok := JoinEq(NewCmp(EQ, Col("a"), Int(1))); ok {
+		t.Fatal("JoinEq accepted constant")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, names, kinds := testBatch()
+	orig := NewAnd(NewCmp(EQ, Col("F.station"), Str("ISK")), NewCmp(GT, Col("D.val"), Float(0)))
+	cp := Clone(orig)
+	mustBind(t, cp, names, kinds)
+	// The original's ColRefs must remain unbound.
+	orig.Walk(func(e Expr) {
+		if c, ok := e.(*ColRef); ok && c.Idx != -1 {
+			t.Fatalf("clone bound the original: %v", c)
+		}
+	})
+	if cp.String() != orig.String() {
+		t.Fatalf("clone changed shape: %s vs %s", cp, orig)
+	}
+}
+
+// Property test: vectorized comparison agrees with a scalar oracle on
+// random int64 data.
+func TestQuickCmpOracle(t *testing.T) {
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	f := func(ls, rs []int64, opIdx uint8) bool {
+		n := min(len(ls), len(rs))
+		ls, rs = ls[:n], rs[:n]
+		op := ops[int(opIdx)%len(ops)]
+		b := storage.NewBatch(storage.NewInt64Column(ls), storage.NewInt64Column(rs))
+		e := NewCmp(op, Col("l"), Col("r"))
+		if _, err := e.Bind([]string{"l", "r"}, []storage.Kind{storage.KindInt64, storage.KindInt64}); err != nil {
+			return false
+		}
+		got := storage.Bools(e.Eval(b))
+		for i := 0; i < n; i++ {
+			var want bool
+			switch op {
+			case EQ:
+				want = ls[i] == rs[i]
+			case NE:
+				want = ls[i] != rs[i]
+			case LT:
+				want = ls[i] < rs[i]
+			case LE:
+				want = ls[i] <= rs[i]
+			case GT:
+				want = ls[i] > rs[i]
+			case GE:
+				want = ls[i] >= rs[i]
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: arithmetic evaluation agrees with a scalar oracle.
+func TestQuickArithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(64) + 1
+		ls := make([]float64, n)
+		rs := make([]float64, n)
+		for i := range ls {
+			ls[i] = rng.NormFloat64() * 100
+			rs[i] = rng.NormFloat64()*100 + 1
+		}
+		ops := []ArithOp{Add, Sub, Mul, Div}
+		op := ops[rng.Intn(len(ops))]
+		b := storage.NewBatch(storage.NewFloat64Column(ls), storage.NewFloat64Column(rs))
+		e := NewArith(op, Col("l"), Col("r"))
+		if _, err := e.Bind([]string{"l", "r"}, []storage.Kind{storage.KindFloat64, storage.KindFloat64}); err != nil {
+			t.Fatal(err)
+		}
+		got := storage.Float64s(e.Eval(b))
+		for i := 0; i < n; i++ {
+			var want float64
+			switch op {
+			case Add:
+				want = ls[i] + rs[i]
+			case Sub:
+				want = ls[i] - rs[i]
+			case Mul:
+				want = ls[i] * rs[i]
+			case Div:
+				want = ls[i] / rs[i]
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d row %d: %v != %v", trial, i, got[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package expr
+
+import (
+	"strings"
+
+	"sommelier/internal/storage"
+)
+
+// Conjuncts splits a predicate into its top-level AND conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// Conjoin combines the expressions with AND; nil for an empty slice.
+func Conjoin(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = NewAnd(out, e)
+		}
+	}
+	return out
+}
+
+// Columns returns the distinct column names referenced by e, in first
+// appearance order.
+func Columns(e Expr) []string {
+	var names []string
+	seen := make(map[string]bool)
+	e.Walk(func(x Expr) {
+		if c, ok := x.(*ColRef); ok && !seen[c.Name] {
+			seen[c.Name] = true
+			names = append(names, c.Name)
+		}
+	})
+	return names
+}
+
+// Tables returns the distinct table qualifiers referenced by e
+// ("F.station" contributes "F"); unqualified references are skipped.
+func Tables(e Expr) []string {
+	var tabs []string
+	seen := make(map[string]bool)
+	for _, c := range Columns(e) {
+		if i := strings.IndexByte(c, '.'); i > 0 {
+			t := c[:i]
+			if !seen[t] {
+				seen[t] = true
+				tabs = append(tabs, t)
+			}
+		}
+	}
+	return tabs
+}
+
+// SelectRows evaluates a bound boolean predicate over the batch and
+// returns the indexes of the qualifying rows.
+func SelectRows(pred Expr, b *storage.Batch) []int32 {
+	if pred == nil {
+		idx := make([]int32, b.Len())
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		return idx
+	}
+	mask := storage.Bools(pred.Eval(b))
+	idx := make([]int32, 0, len(mask)/2)
+	for i, ok := range mask {
+		if ok {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+// EqConst reports whether e is `col = const` and returns the parts.
+func EqConst(e Expr) (col string, c *Const, ok bool) {
+	cmp, isCmp := e.(*Cmp)
+	if !isCmp || cmp.Op != EQ {
+		return "", nil, false
+	}
+	if cr, isCol := cmp.L.(*ColRef); isCol {
+		if k, isConst := cmp.R.(*Const); isConst {
+			return cr.Name, k, true
+		}
+	}
+	if cr, isCol := cmp.R.(*ColRef); isCol {
+		if k, isConst := cmp.L.(*Const); isConst {
+			return cr.Name, k, true
+		}
+	}
+	return "", nil, false
+}
+
+// RangeConst reports whether e is an inequality between a column and a
+// constant (`col < c`, `col >= c`, ...) and returns the parts with the
+// operator normalized so the column is on the left.
+func RangeConst(e Expr) (col string, op CmpOp, c *Const, ok bool) {
+	cmp, isCmp := e.(*Cmp)
+	if !isCmp {
+		return "", 0, nil, false
+	}
+	switch cmp.Op {
+	case LT, LE, GT, GE:
+	default:
+		return "", 0, nil, false
+	}
+	if cr, isCol := cmp.L.(*ColRef); isCol {
+		if k, isConst := cmp.R.(*Const); isConst {
+			return cr.Name, cmp.Op, k, true
+		}
+	}
+	if cr, isCol := cmp.R.(*ColRef); isCol {
+		if k, isConst := cmp.L.(*Const); isConst {
+			return cr.Name, flip(cmp.Op), k, true
+		}
+	}
+	return "", 0, nil, false
+}
+
+func flip(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	}
+	return op
+}
+
+// JoinEq reports whether e is `colA = colB` between two column
+// references, returning both names.
+func JoinEq(e Expr) (left, right string, ok bool) {
+	cmp, isCmp := e.(*Cmp)
+	if !isCmp || cmp.Op != EQ {
+		return "", "", false
+	}
+	l, lok := cmp.L.(*ColRef)
+	r, rok := cmp.R.(*ColRef)
+	if lok && rok {
+		return l.Name, r.Name, true
+	}
+	return "", "", false
+}
+
+// Clone deep-copies an expression tree so one logical predicate can be
+// bound against several operator schemas independently.
+func Clone(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ColRef:
+		return &ColRef{Name: e.Name, Idx: -1}
+	case *Const:
+		cc := *e
+		return &cc
+	case *Cmp:
+		return &Cmp{Op: e.Op, L: Clone(e.L), R: Clone(e.R)}
+	case *And:
+		return &And{L: Clone(e.L), R: Clone(e.R)}
+	case *Or:
+		return &Or{L: Clone(e.L), R: Clone(e.R)}
+	case *Not:
+		return &Not{E: Clone(e.E)}
+	case *Arith:
+		return &Arith{Op: e.Op, L: Clone(e.L), R: Clone(e.R)}
+	default:
+		panic("expr: Clone of unknown node")
+	}
+}

@@ -1,0 +1,142 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sommelier/internal/storage"
+)
+
+func TestHashIndexSingleColumn(t *testing.T) {
+	b := storage.NewBatch(
+		storage.NewInt64Column([]int64{10, 20, 10, 30}),
+		storage.NewStringColumn([]string{"a", "b", "c", "d"}),
+	)
+	ix, err := BuildHash(b, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("distinct keys = %d", ix.Len())
+	}
+	rows := ix.Lookup(Key{I0: 10})
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if got := ix.Lookup(Key{I0: 99}); got != nil {
+		t.Fatalf("phantom rows = %v", got)
+	}
+	if ix.MemSize() <= 0 {
+		t.Fatal("memsize")
+	}
+}
+
+func TestHashIndexComposite(t *testing.T) {
+	b := storage.NewBatch(
+		storage.NewStringColumn([]string{"FIAM", "FIAM", "ISK"}),
+		storage.NewStringColumn([]string{"HHZ", "BHE", "HHZ"}),
+		storage.NewTimeColumn([]int64{100, 100, 100}),
+	)
+	ix, err := BuildHash(b, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ix.Lookup(Key{S0: "FIAM", S1: "HHZ", I0: 100})
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestHashIndexTooManyParts(t *testing.T) {
+	b := storage.NewBatch(
+		storage.NewInt64Column([]int64{1}),
+		storage.NewInt64Column([]int64{2}),
+		storage.NewInt64Column([]int64{3}),
+		storage.NewInt64Column([]int64{4}),
+	)
+	if _, err := BuildHash(b, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("four integer parts should be rejected")
+	}
+	bb := storage.NewBatch(storage.NewFloat64Column([]float64{1}))
+	if _, err := BuildHash(bb, []int{0}); err == nil {
+		t.Fatal("float key should be rejected")
+	}
+}
+
+func TestJoinIndex(t *testing.T) {
+	dim := storage.NewInt64Column([]int64{100, 200, 300})
+	fact := storage.NewInt64Column([]int64{300, 100, 100, 999})
+	ix, err := BuildJoin(fact, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	want := []int32{2, 0, 0, -1}
+	for i, w := range want {
+		if got := ix.Map(int32(i)); got != w {
+			t.Fatalf("map(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if ix.MemSize() != 16 {
+		t.Fatalf("memsize = %d", ix.MemSize())
+	}
+	// Duplicate dimension keys are invalid.
+	if _, err := BuildJoin(fact, storage.NewInt64Column([]int64{1, 1})); err == nil {
+		t.Fatal("duplicate dimension keys accepted")
+	}
+}
+
+func TestZoneMap(t *testing.T) {
+	zm := BuildZoneMap(storage.NewInt64Column([]int64{5, -3, 12, 7}))
+	if zm.Min != -3 || zm.Max != 12 || zm.Rows != 4 {
+		t.Fatalf("zm = %+v", zm)
+	}
+	if !zm.MayContainRange(0, 1) || !zm.MayContainRange(12, 20) {
+		t.Fatal("overlapping ranges rejected")
+	}
+	if zm.MayContainRange(13, 20) || zm.MayContainRange(-10, -4) {
+		t.Fatal("disjoint ranges accepted")
+	}
+	empty := BuildZoneMap(storage.NewInt64Column(nil))
+	if empty.MayContainRange(-1<<62, 1<<62) {
+		t.Fatal("empty zone map matched")
+	}
+}
+
+// Property: the join index agrees with a nested-loop oracle.
+func TestQuickJoinIndexOracle(t *testing.T) {
+	f := func(dimKeys []int64, factPick []uint8) bool {
+		// Dedup dimension keys.
+		seen := make(map[int64]bool)
+		dims := dimKeys[:0:0]
+		for _, k := range dimKeys {
+			if !seen[k] {
+				seen[k] = true
+				dims = append(dims, k)
+			}
+		}
+		if len(dims) == 0 {
+			return true
+		}
+		facts := make([]int64, len(factPick))
+		for i, p := range factPick {
+			facts[i] = dims[int(p)%len(dims)]
+		}
+		ix, err := BuildJoin(storage.NewInt64Column(facts), storage.NewInt64Column(dims))
+		if err != nil {
+			return false
+		}
+		for i, fv := range facts {
+			j := ix.Map(int32(i))
+			if j < 0 || dims[j] != fv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

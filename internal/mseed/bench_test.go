@@ -1,0 +1,71 @@
+package mseed
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchFile(nSamples int) *File {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int32, nSamples)
+	v := int32(0)
+	for i := range samples {
+		v += int32(rng.Intn(81) - 40)
+		samples[i] = v
+	}
+	return &File{
+		Header: FileHeader{
+			Network: "IV", Station: "FIAM", Location: "00", Channel: "HHZ",
+			Quality: "D", Encoding: EncodingDeltaVarint, ByteOrder: "LE",
+		},
+		Segments: []Segment{{
+			Header:  SegmentHeader{ID: 0, StartTime: 0, SampleRate: 20, SampleCount: int32(nSamples)},
+			Samples: samples,
+		}},
+	}
+}
+
+// BenchmarkChunkDecode measures the chunk-access cost: full decode of a
+// compressed waveform file.
+func BenchmarkChunkDecode(b *testing.B) {
+	var buf bytes.Buffer
+	if err := Write(&buf, benchFile(8000)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetadataExtract measures the Registrar's per-chunk cost:
+// header-only extraction, which must be orders of magnitude cheaper
+// than a full decode.
+func BenchmarkMetadataExtract(b *testing.B) {
+	var buf bytes.Buffer
+	if err := Write(&buf, benchFile(8000)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadMetadata(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDeltaVarint(b *testing.B) {
+	f := benchFile(8000)
+	b.SetBytes(int64(len(f.Segments[0].Samples)) * 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSamples(EncodingDeltaVarint, f.Segments[0].Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package mseed
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleFile() *File {
+	return &File{
+		Header: FileHeader{
+			Network: "IV", Station: "FIAM", Location: "00", Channel: "HHZ",
+			Quality: "D", Encoding: EncodingDeltaVarint, ByteOrder: "LE",
+		},
+		Segments: []Segment{
+			{
+				Header: SegmentHeader{
+					ID: 0, StartTime: time.Date(2010, 4, 20, 23, 0, 0, 0, time.UTC).UnixNano(),
+					SampleRate: 20, SampleCount: 5,
+				},
+				Samples: []int32{100, 105, 95, 120, -30},
+			},
+			{
+				Header: SegmentHeader{
+					ID: 1, StartTime: time.Date(2010, 4, 21, 1, 0, 0, 0, time.UTC).UnixNano(),
+					SampleRate: 20, SampleCount: 3,
+				},
+				Samples: []int32{0, -1, 2},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != f.Header {
+		t.Fatalf("header = %+v, want %+v", got.Header, f.Header)
+	}
+	if len(got.Segments) != 2 {
+		t.Fatalf("segments = %d", len(got.Segments))
+	}
+	for i := range f.Segments {
+		if !reflect.DeepEqual(got.Segments[i].Samples, f.Segments[i].Samples) {
+			t.Fatalf("segment %d samples = %v", i, got.Segments[i].Samples)
+		}
+		if got.Segments[i].Header.StartTime != f.Segments[i].Header.StartTime {
+			t.Fatalf("segment %d start time mismatch", i)
+		}
+		if got.Segments[i].Header.SampleRate != 20 {
+			t.Fatalf("segment %d rate = %v", i, got.Segments[i].Header.SampleRate)
+		}
+	}
+	if got.SampleCount() != 8 {
+		t.Fatalf("sample count = %d", got.SampleCount())
+	}
+}
+
+func TestMetadataOnlyRead(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	hdr, segs, err := ReadMetadata(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Station != "FIAM" || hdr.Channel != "HHZ" {
+		t.Fatalf("hdr = %+v", hdr)
+	}
+	if len(segs) != 2 || segs[0].SampleCount != 5 || segs[1].SampleCount != 3 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	if segs[0].EndTime() <= segs[0].StartTime {
+		t.Fatal("EndTime not after StartTime")
+	}
+	if segs[0].Period() != 50*time.Millisecond {
+		t.Fatalf("period = %v", segs[0].Period())
+	}
+}
+
+func TestRawEncoding(t *testing.T) {
+	f := sampleFile()
+	f.Header.Encoding = EncodingRaw
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Segments[0].Samples, f.Segments[0].Samples) {
+		t.Fatal("raw round trip failed")
+	}
+}
+
+func TestCompressionIsCompact(t *testing.T) {
+	// A smooth series must compress far below 4 bytes/sample.
+	n := 10000
+	samples := make([]int32, n)
+	v := int32(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := range samples {
+		v += int32(rng.Intn(21) - 10)
+		samples[i] = v
+	}
+	enc, err := EncodeSamples(EncodingDeltaVarint, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > n*2 {
+		t.Fatalf("smooth series encoded to %d bytes for %d samples", len(enc), n)
+	}
+	dec, err := DecodeSamples(EncodingDeltaVarint, enc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, samples) {
+		t.Fatal("decode mismatch")
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the last payload: checksum must catch it.
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)-1] ^= 0xFF
+	if _, err := Read(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupt payload not detected")
+	}
+	// Truncated file.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated file not detected")
+	}
+	if _, _, err := ReadMetadata(bytes.NewReader(raw[:9])); err == nil {
+		t.Fatal("truncated metadata not detected")
+	}
+	// Bad magic.
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+	// Bad version.
+	badv := append([]byte(nil), raw...)
+	badv[4] = 99
+	if _, err := Read(bytes.NewReader(badv)); err == nil {
+		t.Fatal("bad version not detected")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	f := sampleFile()
+	f.Segments[0].Header.SampleCount = 99 // lies about the count
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("count mismatch not detected")
+	}
+	f = sampleFile()
+	f.Segments[0].Header.SampleRate = 0
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("zero rate not detected")
+	}
+	f = sampleFile()
+	f.Header.Encoding = Encoding(77)
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("unknown encoding not detected")
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.msl")
+	f := sampleFile()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChunkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != f.Header {
+		t.Fatal("disk round trip header mismatch")
+	}
+	hdr, segs, err := ReadMetadataFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != f.Header || len(segs) != 2 {
+		t.Fatal("disk metadata mismatch")
+	}
+	if _, err := ReadChunkFile(filepath.Join(dir, "missing.msl")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v", err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary int32 series under both
+// encodings.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	for _, enc := range []Encoding{EncodingDeltaVarint, EncodingRaw} {
+		enc := enc
+		f := func(samples []int32) bool {
+			payload, err := EncodeSamples(enc, samples)
+			if err != nil {
+				return false
+			}
+			got, err := DecodeSamples(enc, payload, len(samples))
+			if err != nil {
+				return false
+			}
+			return reflect.DeepEqual(got, samples) || (len(got) == 0 && len(samples) == 0)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("encoding %d: %v", enc, err)
+		}
+	}
+}
+
+// Property: whole-file write/read round-trips random files.
+func TestQuickFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		f := &File{
+			Header: FileHeader{
+				Network: "N", Station: "STA", Location: "00", Channel: "CHN",
+				Quality: "D", Encoding: EncodingDeltaVarint, ByteOrder: "LE",
+			},
+		}
+		nseg := rng.Intn(5) + 1
+		for s := 0; s < nseg; s++ {
+			n := rng.Intn(200)
+			samples := make([]int32, n)
+			for i := range samples {
+				samples[i] = int32(rng.Uint32())
+			}
+			f.Segments = append(f.Segments, Segment{
+				Header: SegmentHeader{
+					ID: int32(s), StartTime: rng.Int63(), SampleRate: 20, SampleCount: int32(n),
+				},
+				Samples: samples,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for s := range f.Segments {
+			if !reflect.DeepEqual(got.Segments[s].Samples, f.Segments[s].Samples) {
+				t.Fatalf("trial %d segment %d mismatch", trial, s)
+			}
+		}
+	}
+}

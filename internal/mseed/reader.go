@@ -1,0 +1,154 @@
+package mseed
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReadMetadata extracts the given metadata of a chunk — file header and
+// segment headers — without decoding any sample payload. Payload blocks
+// are skipped using the recorded lengths, so the cost is independent of
+// the sample volume. This is the operation the Registrar runs over a
+// whole repository.
+func ReadMetadata(r io.Reader) (FileHeader, []SegmentHeader, error) {
+	br := bufio.NewReader(r)
+	hdr, nseg, err := readFileHeader(br)
+	if err != nil {
+		return FileHeader{}, nil, err
+	}
+	segs := make([]SegmentHeader, 0, nseg)
+	for i := 0; i < nseg; i++ {
+		sh, err := readSegmentHeader(br)
+		if err != nil {
+			return FileHeader{}, nil, fmt.Errorf("mseed: segment %d: %w", i, err)
+		}
+		if _, err := br.Discard(int(sh.payloadLen)); err != nil {
+			return FileHeader{}, nil, fmt.Errorf("mseed: segment %d: truncated payload: %w", i, err)
+		}
+		segs = append(segs, sh)
+	}
+	return hdr, segs, nil
+}
+
+// Read fully decodes a chunk file: the chunk-access operation. Payload
+// checksums are verified.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	hdr, nseg, err := readFileHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Header: hdr, Segments: make([]Segment, 0, nseg)}
+	for i := 0; i < nseg; i++ {
+		sh, err := readSegmentHeader(br)
+		if err != nil {
+			return nil, fmt.Errorf("mseed: segment %d: %w", i, err)
+		}
+		payload := make([]byte, sh.payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("mseed: segment %d: truncated payload: %w", i, err)
+		}
+		if got := crc32.Checksum(payload, crcTable); got != sh.crc {
+			return nil, fmt.Errorf("mseed: segment %d: checksum mismatch (corrupt chunk)", i)
+		}
+		samples, err := DecodeSamples(hdr.Encoding, payload, int(sh.SampleCount))
+		if err != nil {
+			return nil, fmt.Errorf("mseed: segment %d: %w", i, err)
+		}
+		f.Segments = append(f.Segments, Segment{Header: sh, Samples: samples})
+	}
+	return f, nil
+}
+
+func readFileHeader(br *bufio.Reader) (FileHeader, int, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return FileHeader{}, 0, fmt.Errorf("mseed: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return FileHeader{}, 0, fmt.Errorf("mseed: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return FileHeader{}, 0, err
+	}
+	if ver != Version {
+		return FileHeader{}, 0, fmt.Errorf("mseed: unsupported version %d", ver)
+	}
+	var hdr FileHeader
+	for _, dst := range []*string{&hdr.Network, &hdr.Station, &hdr.Location, &hdr.Channel, &hdr.Quality, &hdr.ByteOrder} {
+		s, err := readString(br)
+		if err != nil {
+			return FileHeader{}, 0, fmt.Errorf("mseed: reading header strings: %w", err)
+		}
+		*dst = s
+	}
+	encB, err := br.ReadByte()
+	if err != nil {
+		return FileHeader{}, 0, err
+	}
+	hdr.Encoding = Encoding(encB)
+	nseg, err := readU32(br)
+	if err != nil {
+		return FileHeader{}, 0, err
+	}
+	return hdr, int(nseg), nil
+}
+
+func readSegmentHeader(br *bufio.Reader) (SegmentHeader, error) {
+	var sh SegmentHeader
+	id, err := readU32(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.ID = int32(id)
+	st, err := readU64(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.StartTime = int64(st)
+	rate, err := readU64(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.SampleRate = float64(rate) / 1e6
+	cnt, err := readU32(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.SampleCount = int32(cnt)
+	plen, err := readU32(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.payloadLen = int32(plen)
+	crc, err := readU32(br)
+	if err != nil {
+		return sh, err
+	}
+	sh.crc = crc
+	return sh, nil
+}
+
+// ReadMetadataFile extracts metadata from the chunk at path.
+func ReadMetadataFile(path string) (FileHeader, []SegmentHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FileHeader{}, nil, err
+	}
+	defer f.Close()
+	return ReadMetadata(f)
+}
+
+// ReadChunkFile fully decodes the chunk at path.
+func ReadChunkFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

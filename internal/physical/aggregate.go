@@ -1,0 +1,282 @@
+package physical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/index"
+	"sommelier/internal/storage"
+)
+
+// AggFuncID mirrors plan.AggFunc without importing the plan package
+// (physical sits below plan in the dependency order).
+type AggFuncID uint8
+
+// Aggregate function identifiers.
+const (
+	AggCount AggFuncID = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggStddev
+)
+
+// AggColumn describes one aggregate to compute.
+type AggColumn struct {
+	Func AggFuncID
+	Arg  expr.Expr // nil only for COUNT(*)
+	Name string
+}
+
+// aggState accumulates one aggregate for one group using a numerically
+// stable (Welford) recurrence for the variance.
+type aggState struct {
+	n                int64
+	sum              float64
+	mean, m2         float64
+	min, max         float64
+	intArg           bool
+	iSum, iMin, iMax int64
+	seen             bool
+}
+
+func (s *aggState) addF(v float64) {
+	s.n++
+	s.sum += v
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	if !s.seen || v < s.min {
+		s.min = v
+	}
+	if !s.seen || v > s.max {
+		s.max = v
+	}
+	s.seen = true
+}
+
+func (s *aggState) addI(v int64) {
+	s.intArg = true
+	s.iSum += v
+	if !s.seen || v < s.iMin {
+		s.iMin = v
+	}
+	if !s.seen || v > s.iMax {
+		s.iMax = v
+	}
+	s.addF(float64(v))
+}
+
+// HashAggregate groups its input and computes aggregates per group; a
+// single global group when groupCols is empty.
+type HashAggregate struct {
+	in        Operator
+	groupCols []int
+	aggs      []AggColumn
+	names     []string
+	kinds     []storage.Kind
+	argKinds  []storage.Kind
+
+	done bool
+}
+
+// NewHashAggregate binds the aggregate arguments against the input.
+func NewHashAggregate(in Operator, groupCols []int, aggs []AggColumn) (*HashAggregate, error) {
+	h := &HashAggregate{in: in, groupCols: groupCols}
+	inNames, inKinds := in.Names(), in.Kinds()
+	for _, gc := range groupCols {
+		if gc < 0 || gc >= len(inNames) {
+			return nil, fmt.Errorf("physical: group column %d out of range", gc)
+		}
+		h.names = append(h.names, inNames[gc])
+		h.kinds = append(h.kinds, inKinds[gc])
+	}
+	for _, a := range aggs {
+		var argKind storage.Kind
+		if a.Arg != nil {
+			a.Arg = expr.Clone(a.Arg)
+			k, err := a.Arg.Bind(inNames, inKinds)
+			if err != nil {
+				return nil, err
+			}
+			if k == storage.KindString || k == storage.KindBool {
+				return nil, fmt.Errorf("physical: aggregate %s over %v", a.Name, k)
+			}
+			argKind = k
+		} else if a.Func != AggCount {
+			return nil, fmt.Errorf("physical: aggregate %s requires an argument", a.Name)
+		}
+		h.aggs = append(h.aggs, a)
+		h.argKinds = append(h.argKinds, argKind)
+		h.names = append(h.names, a.Name)
+		h.kinds = append(h.kinds, aggKind(a.Func, argKind))
+	}
+	return h, nil
+}
+
+func aggKind(f AggFuncID, arg storage.Kind) storage.Kind {
+	switch f {
+	case AggCount:
+		return storage.KindInt64
+	case AggAvg, AggStddev:
+		return storage.KindFloat64
+	case AggSum:
+		if arg == storage.KindInt64 {
+			return storage.KindInt64
+		}
+		return storage.KindFloat64
+	default:
+		return arg
+	}
+}
+
+// Names implements Operator.
+func (h *HashAggregate) Names() []string { return h.names }
+
+// Kinds implements Operator.
+func (h *HashAggregate) Kinds() []storage.Kind { return h.kinds }
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (*storage.Batch, error) {
+	if h.done {
+		return nil, nil
+	}
+	h.done = true
+
+	type group struct {
+		repr   []any // group column values
+		states []aggState
+	}
+	groups := make(map[index.Key]*group)
+	var order []index.Key
+
+	for {
+		b, err := h.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		// Evaluate aggregate arguments once per batch.
+		argCols := make([]storage.Column, len(h.aggs))
+		for i, a := range h.aggs {
+			if a.Arg != nil {
+				argCols[i] = a.Arg.Eval(b)
+			}
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			k, err := index.KeyAt(b, h.groupCols, r)
+			if err != nil {
+				return nil, err
+			}
+			g, ok := groups[k]
+			if !ok {
+				g = &group{states: make([]aggState, len(h.aggs))}
+				for _, gc := range h.groupCols {
+					g.repr = append(g.repr, storage.ValueAt(b.Cols[gc], r))
+				}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for i := range h.aggs {
+				st := &g.states[i]
+				if argCols[i] == nil {
+					st.n++ // COUNT(*)
+					continue
+				}
+				switch c := argCols[i].(type) {
+				case *storage.Float64Column:
+					st.addF(c.Value(r))
+				case *storage.Int64Column:
+					st.addI(c.Value(r))
+				case *storage.TimeColumn:
+					st.addI(c.Value(r))
+				}
+			}
+		}
+	}
+
+	if len(h.groupCols) == 0 && len(groups) == 0 {
+		// Global aggregate over empty input: one all-default row.
+		groups[index.Key{}] = &group{states: make([]aggState, len(h.aggs))}
+		order = append(order, index.Key{})
+	}
+
+	// Deterministic group order for stable results.
+	sort.Slice(order, func(i, j int) bool { return keyLess(order[i], order[j]) })
+
+	builders := make([]storage.Builder, len(h.names))
+	for i, k := range h.kinds {
+		builders[i] = storage.NewBuilder(k, len(groups))
+	}
+	for _, k := range order {
+		g := groups[k]
+		for i := range h.groupCols {
+			builders[i].AppendAny(g.repr[i])
+		}
+		for i, a := range h.aggs {
+			st := g.states[i]
+			bi := len(h.groupCols) + i
+			switch a.Func {
+			case AggCount:
+				builders[bi].AppendAny(st.n)
+			case AggSum:
+				if h.kinds[bi] == storage.KindInt64 {
+					builders[bi].AppendAny(st.iSum)
+				} else {
+					builders[bi].AppendAny(st.sum)
+				}
+			case AggAvg:
+				if st.n == 0 {
+					builders[bi].AppendAny(math.NaN())
+				} else {
+					builders[bi].AppendAny(st.mean)
+				}
+			case AggStddev:
+				if st.n < 2 {
+					builders[bi].AppendAny(0.0)
+				} else {
+					builders[bi].AppendAny(math.Sqrt(st.m2 / float64(st.n-1)))
+				}
+			case AggMin, AggMax:
+				v := st.min
+				iv := st.iMin
+				if a.Func == AggMax {
+					v, iv = st.max, st.iMax
+				}
+				switch h.kinds[bi] {
+				case storage.KindInt64, storage.KindTime:
+					builders[bi].AppendAny(iv)
+				default:
+					builders[bi].AppendAny(v)
+				}
+			}
+		}
+	}
+	cols := make([]storage.Column, len(builders))
+	for i, b := range builders {
+		cols[i] = b.Finish()
+	}
+	return storage.NewBatch(cols...), nil
+}
+
+func keyLess(a, b index.Key) bool {
+	if a.I0 != b.I0 {
+		return a.I0 < b.I0
+	}
+	if a.I1 != b.I1 {
+		return a.I1 < b.I1
+	}
+	if a.I2 != b.I2 {
+		return a.I2 < b.I2
+	}
+	if a.S0 != b.S0 {
+		return a.S0 < b.S0
+	}
+	return a.S1 < b.S1
+}

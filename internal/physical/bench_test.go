@@ -1,0 +1,80 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/storage"
+)
+
+func benchRel(rows int) (*storage.Relation, []string, []storage.Kind) {
+	rng := rand.New(rand.NewSource(3))
+	rel := storage.NewRelation()
+	for lo := 0; lo < rows; lo += storage.BatchSize {
+		n := min(storage.BatchSize, rows-lo)
+		ids := make([]int64, n)
+		vals := make([]float64, n)
+		for i := range ids {
+			ids[i] = int64(rng.Intn(64))
+			vals[i] = rng.NormFloat64() * 1000
+		}
+		rel.Append(storage.NewBatch(storage.NewInt64Column(ids), storage.NewFloat64Column(vals)))
+	}
+	return rel, []string{"D.file_id", "D.val"}, []storage.Kind{storage.KindInt64, storage.KindFloat64}
+}
+
+func BenchmarkFilterScan(b *testing.B) {
+	rel, names, kinds := benchRel(1 << 16)
+	pred := expr.NewCmp(expr.GT, expr.Col("D.val"), expr.Float(0))
+	b.SetBytes(int64(rel.Rows()) * 16)
+	for i := 0; i < b.N; i++ {
+		s, err := NewRelScan(rel, names, kinds, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinProbe(b *testing.B) {
+	dimRel := storage.NewRelation()
+	ids := make([]int64, 64)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	dimRel.Append(storage.NewBatch(storage.NewInt64Column(ids)))
+	factRel, fnames, fkinds := benchRel(1 << 16)
+	b.SetBytes(int64(factRel.Rows()) * 8)
+	for i := 0; i < b.N; i++ {
+		ds, _ := NewRelScan(dimRel, []string{"F.file_id"}, []storage.Kind{storage.KindInt64}, nil)
+		fs, _ := NewRelScan(factRel, fnames, fkinds, nil)
+		j, err := NewHashJoin(ds, fs, []int{0}, []int{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupedAggregate(b *testing.B) {
+	rel, names, kinds := benchRel(1 << 16)
+	b.SetBytes(int64(rel.Rows()) * 16)
+	for i := 0; i < b.N; i++ {
+		s, _ := NewRelScan(rel, names, kinds, nil)
+		agg, err := NewHashAggregate(s, []int{0}, []AggColumn{
+			{Func: AggAvg, Arg: expr.Col("D.val"), Name: "avg"},
+			{Func: AggStddev, Arg: expr.Col("D.val"), Name: "sd"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

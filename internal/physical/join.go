@@ -1,0 +1,176 @@
+package physical
+
+import (
+	"fmt"
+
+	"sommelier/internal/index"
+	"sommelier/internal/storage"
+)
+
+// HashJoin is an inner equi-join. The left input is materialized as the
+// build side — in the plans this package serves, the left input is
+// always the (small) metadata composite, while the right side streams
+// the (large) actual data, so build-left is the right default.
+type HashJoin struct {
+	left, right   Operator
+	leftK, rightK []int
+	names         []string
+	kinds         []storage.Kind
+
+	built     bool
+	buildData *storage.Batch
+	table     map[index.Key][]int32
+}
+
+// NewHashJoin joins left and right on pairwise-equal key columns given
+// as column positions.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("physical: join needs matching, non-empty key lists")
+	}
+	lk, rk := left.Kinds(), right.Kinds()
+	for i := range leftKeys {
+		a, b := lk[leftKeys[i]], rk[rightKeys[i]]
+		if !joinComparable(a, b) {
+			return nil, fmt.Errorf("physical: join key %d kinds %v vs %v", i, a, b)
+		}
+	}
+	return &HashJoin{
+		left: left, right: right,
+		leftK: leftKeys, rightK: rightKeys,
+		names: append(append([]string{}, left.Names()...), right.Names()...),
+		kinds: append(append([]storage.Kind{}, left.Kinds()...), right.Kinds()...),
+	}, nil
+}
+
+func joinComparable(a, b storage.Kind) bool {
+	if a == b {
+		return true
+	}
+	isInt := func(k storage.Kind) bool { return k == storage.KindInt64 || k == storage.KindTime }
+	return isInt(a) && isInt(b)
+}
+
+// Names implements Operator.
+func (j *HashJoin) Names() []string { return j.names }
+
+// Kinds implements Operator.
+func (j *HashJoin) Kinds() []storage.Kind { return j.kinds }
+
+func (j *HashJoin) build() error {
+	rel, err := Run(j.left)
+	if err != nil {
+		return err
+	}
+	j.buildData = rel.Flatten()
+	j.table = make(map[index.Key][]int32, j.buildData.Len())
+	n := j.buildData.Len()
+	for r := 0; r < n; r++ {
+		k, err := index.KeyAt(j.buildData, j.leftK, r)
+		if err != nil {
+			return err
+		}
+		j.table[k] = append(j.table[k], int32(r))
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*storage.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	if len(j.table) == 0 {
+		return nil, nil
+	}
+	for {
+		rb, err := j.right.Next()
+		if err != nil || rb == nil {
+			return nil, err
+		}
+		var leftIdx, rightIdx []int32
+		n := rb.Len()
+		for r := 0; r < n; r++ {
+			k, err := index.KeyAt(rb, j.rightK, r)
+			if err != nil {
+				return nil, err
+			}
+			for _, lr := range j.table[k] {
+				leftIdx = append(leftIdx, lr)
+				rightIdx = append(rightIdx, int32(r))
+			}
+		}
+		if len(leftIdx) == 0 {
+			continue
+		}
+		lcols := j.buildData.Gather(leftIdx)
+		rcols := rb.Gather(rightIdx)
+		return storage.NewBatch(append(append([]storage.Column{}, lcols.Cols...), rcols.Cols...)...), nil
+	}
+}
+
+// CrossJoin produces the Cartesian product of its inputs; the planner
+// emits it only under rule R2 (joining disconnected metadata
+// components), so inputs are small.
+type CrossJoin struct {
+	left, right Operator
+	names       []string
+	kinds       []storage.Kind
+
+	built    bool
+	leftData *storage.Batch
+	rightRel *storage.Relation
+	li       int
+	ri       int
+}
+
+// NewCrossJoin builds the product operator.
+func NewCrossJoin(left, right Operator) *CrossJoin {
+	return &CrossJoin{
+		left: left, right: right,
+		names: append(append([]string{}, left.Names()...), right.Names()...),
+		kinds: append(append([]storage.Kind{}, left.Kinds()...), right.Kinds()...),
+	}
+}
+
+// Names implements Operator.
+func (c *CrossJoin) Names() []string { return c.names }
+
+// Kinds implements Operator.
+func (c *CrossJoin) Kinds() []storage.Kind { return c.kinds }
+
+// Next implements Operator.
+func (c *CrossJoin) Next() (*storage.Batch, error) {
+	if !c.built {
+		lrel, err := Run(c.left)
+		if err != nil {
+			return nil, err
+		}
+		c.leftData = lrel.Flatten()
+		c.rightRel, err = Run(c.right)
+		if err != nil {
+			return nil, err
+		}
+		c.built = true
+	}
+	for c.li < c.leftData.Len() {
+		if c.ri >= len(c.rightRel.Batches()) {
+			c.li++
+			c.ri = 0
+			continue
+		}
+		rb := c.rightRel.Batches()[c.ri]
+		c.ri++
+		n := rb.Len()
+		leftIdx := make([]int32, n)
+		for i := range leftIdx {
+			leftIdx[i] = int32(c.li)
+		}
+		lcols := c.leftData.Gather(leftIdx)
+		return storage.NewBatch(append(append([]storage.Column{}, lcols.Cols...), rb.Cols...)...), nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,303 @@
+// Package physical implements the vectorized execution operators. Each
+// operator pulls batches from its inputs (volcano style, but on column
+// batches rather than tuples, mirroring the bulk-processing paradigm of
+// the paper's host system).
+//
+// The access paths of the paper map onto this package as follows:
+// scan and result-scan are RelScans over resident relations, cache-scan
+// is a RelScan over a cached chunk relation, index-scan is an
+// IndexScan, and chunk-access is a RelScan over a freshly ingested
+// chunk (the ingestion itself lives in the engine's run-time
+// optimizer).
+package physical
+
+import (
+	"fmt"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/index"
+	"sommelier/internal/storage"
+)
+
+// Operator produces a stream of batches. Next returns nil when the
+// stream is exhausted.
+type Operator interface {
+	// Names returns the qualified output column names.
+	Names() []string
+	// Kinds returns the output column kinds.
+	Kinds() []storage.Kind
+	// Next returns the next batch, or nil at end of stream.
+	Next() (*storage.Batch, error)
+}
+
+// Run drains an operator into a relation.
+func Run(op Operator) (*storage.Relation, error) {
+	out := storage.NewRelation()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out.Append(b)
+	}
+}
+
+// RelScan streams a materialized relation, optionally filtering it. It
+// implements the scan, result-scan and cache-scan access paths.
+type RelScan struct {
+	names  []string
+	kinds  []storage.Kind
+	pred   expr.Expr
+	splits []*storage.Batch
+	pos    int
+}
+
+// NewRelScan builds a scan over rel. If pred is non-nil it is bound
+// against the schema and applied per batch.
+func NewRelScan(rel *storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) (*RelScan, error) {
+	if pred != nil {
+		pred = expr.Clone(pred)
+		if k, err := pred.Bind(names, kinds); err != nil {
+			return nil, err
+		} else if k != storage.KindBool {
+			return nil, fmt.Errorf("physical: scan predicate is %v, not boolean", k)
+		}
+	}
+	return &RelScan{names: names, kinds: kinds, pred: pred, splits: rel.Batches()}, nil
+}
+
+// Names implements Operator.
+func (s *RelScan) Names() []string { return s.names }
+
+// Kinds implements Operator.
+func (s *RelScan) Kinds() []storage.Kind { return s.kinds }
+
+// Next implements Operator.
+func (s *RelScan) Next() (*storage.Batch, error) {
+	for s.pos < len(s.splits) {
+		b := s.splits[s.pos]
+		s.pos++
+		if s.pred == nil {
+			return b, nil
+		}
+		idx := expr.SelectRows(s.pred, b)
+		if len(idx) == 0 {
+			continue
+		}
+		if len(idx) == b.Len() {
+			return b, nil
+		}
+		return b.Gather(idx), nil
+	}
+	return nil, nil
+}
+
+// Filter applies a residual predicate to its input.
+type Filter struct {
+	in   Operator
+	pred expr.Expr
+}
+
+// NewFilter binds pred against the input schema.
+func NewFilter(in Operator, pred expr.Expr) (*Filter, error) {
+	pred = expr.Clone(pred)
+	k, err := pred.Bind(in.Names(), in.Kinds())
+	if err != nil {
+		return nil, err
+	}
+	if k != storage.KindBool {
+		return nil, fmt.Errorf("physical: filter predicate is %v, not boolean", k)
+	}
+	return &Filter{in: in, pred: pred}, nil
+}
+
+// Names implements Operator.
+func (f *Filter) Names() []string { return f.in.Names() }
+
+// Kinds implements Operator.
+func (f *Filter) Kinds() []storage.Kind { return f.in.Kinds() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*storage.Batch, error) {
+	for {
+		b, err := f.in.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		idx := expr.SelectRows(f.pred, b)
+		if len(idx) == 0 {
+			continue
+		}
+		if len(idx) == b.Len() {
+			return b, nil
+		}
+		return b.Gather(idx), nil
+	}
+}
+
+// Project evaluates scalar expressions into output columns.
+type Project struct {
+	in    Operator
+	names []string
+	kinds []storage.Kind
+	exprs []expr.Expr
+}
+
+// NewProject binds the expressions against the input schema.
+func NewProject(in Operator, names []string, exprs []expr.Expr) (*Project, error) {
+	p := &Project{in: in, names: names}
+	for _, e := range exprs {
+		e = expr.Clone(e)
+		k, err := e.Bind(in.Names(), in.Kinds())
+		if err != nil {
+			return nil, err
+		}
+		p.exprs = append(p.exprs, e)
+		p.kinds = append(p.kinds, k)
+	}
+	return p, nil
+}
+
+// Names implements Operator.
+func (p *Project) Names() []string { return p.names }
+
+// Kinds implements Operator.
+func (p *Project) Kinds() []storage.Kind { return p.kinds }
+
+// Next implements Operator.
+func (p *Project) Next() (*storage.Batch, error) {
+	b, err := p.in.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([]storage.Column, len(p.exprs))
+	for i, e := range p.exprs {
+		cols[i] = e.Eval(b)
+	}
+	return storage.NewBatch(cols...), nil
+}
+
+// UnionAll concatenates the streams of its inputs, which must share a
+// schema. The run-time optimizer uses it to combine cache-scans and
+// chunk-accesses over the selected chunks (rewrite rule (1)).
+type UnionAll struct {
+	ins []Operator
+	pos int
+}
+
+// NewUnionAll validates schema compatibility.
+func NewUnionAll(ins ...Operator) (*UnionAll, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("physical: empty union")
+	}
+	w := len(ins[0].Names())
+	for _, in := range ins[1:] {
+		if len(in.Names()) != w {
+			return nil, fmt.Errorf("physical: union width mismatch")
+		}
+	}
+	return &UnionAll{ins: ins}, nil
+}
+
+// Names implements Operator.
+func (u *UnionAll) Names() []string { return u.ins[0].Names() }
+
+// Kinds implements Operator.
+func (u *UnionAll) Kinds() []storage.Kind { return u.ins[0].Kinds() }
+
+// Next implements Operator.
+func (u *UnionAll) Next() (*storage.Batch, error) {
+	for u.pos < len(u.ins) {
+		b, err := u.ins[u.pos].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.pos++
+	}
+	return nil, nil
+}
+
+// Empty is a zero-row operator with a schema; the rewrite of a scan
+// over zero selected chunks.
+type Empty struct {
+	names []string
+	kinds []storage.Kind
+}
+
+// NewEmpty builds an empty stream with the given schema.
+func NewEmpty(names []string, kinds []storage.Kind) *Empty {
+	return &Empty{names: names, kinds: kinds}
+}
+
+// Names implements Operator.
+func (e *Empty) Names() []string { return e.names }
+
+// Kinds implements Operator.
+func (e *Empty) Kinds() []storage.Kind { return e.kinds }
+
+// Next implements Operator.
+func (e *Empty) Next() (*storage.Batch, error) { return nil, nil }
+
+// IndexScan looks rows up through a hash index and streams the matches:
+// the index-scan access path.
+type IndexScan struct {
+	names []string
+	kinds []storage.Kind
+	data  *storage.Batch
+	rows  []int32
+	done  bool
+}
+
+// NewIndexScan returns the rows of data (a flattened relation) whose
+// key equals k in the given index.
+func NewIndexScan(ix *index.HashIndex, data *storage.Batch, names []string, kinds []storage.Kind, k index.Key) *IndexScan {
+	return &IndexScan{names: names, kinds: kinds, data: data, rows: ix.Lookup(k)}
+}
+
+// Names implements Operator.
+func (s *IndexScan) Names() []string { return s.names }
+
+// Kinds implements Operator.
+func (s *IndexScan) Kinds() []storage.Kind { return s.kinds }
+
+// Next implements Operator.
+func (s *IndexScan) Next() (*storage.Batch, error) {
+	if s.done || len(s.rows) == 0 {
+		return nil, nil
+	}
+	s.done = true
+	return s.data.Gather(s.rows), nil
+}
+
+// Counted wraps an operator and accumulates the number of rows it
+// emits; the executor uses it to annotate plans for EXPLAIN ANALYZE.
+type Counted struct {
+	in   Operator
+	rows *int64
+}
+
+// NewCounted wraps in, adding emitted rows to *rows.
+func NewCounted(in Operator, rows *int64) *Counted {
+	return &Counted{in: in, rows: rows}
+}
+
+// Names implements Operator.
+func (c *Counted) Names() []string { return c.in.Names() }
+
+// Kinds implements Operator.
+func (c *Counted) Kinds() []storage.Kind { return c.in.Kinds() }
+
+// Next implements Operator.
+func (c *Counted) Next() (*storage.Batch, error) {
+	b, err := c.in.Next()
+	if b != nil {
+		*c.rows += int64(b.Len())
+	}
+	return b, err
+}

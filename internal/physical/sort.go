@@ -1,0 +1,134 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/storage"
+)
+
+// SortKey is one ordering key, by column position.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the keys.
+type Sort struct {
+	in   Operator
+	keys []SortKey
+	done bool
+}
+
+// NewSort validates the key positions.
+func NewSort(in Operator, keys []SortKey) (*Sort, error) {
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(in.Names()) {
+			return nil, fmt.Errorf("physical: sort key %d out of range", k.Col)
+		}
+		switch in.Kinds()[k.Col] {
+		case storage.KindInt64, storage.KindTime, storage.KindFloat64, storage.KindString:
+		default:
+			return nil, fmt.Errorf("physical: cannot sort on %v", in.Kinds()[k.Col])
+		}
+	}
+	return &Sort{in: in, keys: keys}, nil
+}
+
+// Names implements Operator.
+func (s *Sort) Names() []string { return s.in.Names() }
+
+// Kinds implements Operator.
+func (s *Sort) Kinds() []storage.Kind { return s.in.Kinds() }
+
+// Next implements Operator.
+func (s *Sort) Next() (*storage.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	rel, err := Run(s.in)
+	if err != nil {
+		return nil, err
+	}
+	if rel.Rows() == 0 {
+		return nil, nil
+	}
+	flat := rel.Flatten()
+	idx := make([]int32, flat.Len())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, k := range s.keys {
+			c := cmpAt(flat.Cols[k.Col], int(idx[a]), int(idx[b]))
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return flat.Gather(idx), nil
+}
+
+func cmpAt(c storage.Column, a, b int) int {
+	switch c := c.(type) {
+	case *storage.Int64Column:
+		return cmpOrd(c.Value(a), c.Value(b))
+	case *storage.TimeColumn:
+		return cmpOrd(c.Value(a), c.Value(b))
+	case *storage.Float64Column:
+		return cmpOrd(c.Value(a), c.Value(b))
+	case *storage.StringColumn:
+		return cmpOrd(c.Value(a), c.Value(b))
+	default:
+		panic(fmt.Sprintf("physical: cmpAt on %T", c))
+	}
+}
+
+func cmpOrd[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Limit passes through at most N rows.
+type Limit struct {
+	in   Operator
+	n    int
+	seen int
+}
+
+// NewLimit builds a limit operator.
+func NewLimit(in Operator, n int) *Limit { return &Limit{in: in, n: n} }
+
+// Names implements Operator.
+func (l *Limit) Names() []string { return l.in.Names() }
+
+// Kinds implements Operator.
+func (l *Limit) Kinds() []storage.Kind { return l.in.Kinds() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*storage.Batch, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	b, err := l.in.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if l.seen+b.Len() > l.n {
+		b = b.Slice(0, l.n-l.seen)
+	}
+	l.seen += b.Len()
+	return b, nil
+}

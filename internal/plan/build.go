@@ -1,0 +1,482 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/table"
+)
+
+// SelectItem is one item of the SELECT clause: a scalar expression or
+// an aggregate over one.
+type SelectItem struct {
+	Agg   AggFunc
+	Expr  expr.Expr // nil only for COUNT(*)
+	Alias string
+}
+
+// Query is the logical query specification produced by the SQL parser
+// or constructed programmatically.
+type Query struct {
+	Select  []SelectItem
+	From    string // view or base table name
+	Where   expr.Expr
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // <= 0 means no limit
+	// SamplePct, when in (0, 100), asks for approximative answering
+	// (the paper's §VIII): the executor evaluates the query over a
+	// deterministic sample of that percentage of the selected chunks,
+	// trading accuracy for bounded chunk-loading time.
+	SamplePct float64
+}
+
+// Plan is a compiled query: the operator tree plus the Qf marker that
+// tells the executor where stage one ends.
+type Plan struct {
+	Root Node
+	// Qf is the highest sub-plan whose leaves are only metadata
+	// tables; nil when the query has no metadata table. The executor
+	// evaluates it first to identify the chunks of interest.
+	Qf Node
+	// TwoStage reports whether the plan touches actual data and thus
+	// requires the run-time rewrite between the stages.
+	TwoStage bool
+	// Tables referenced, by class.
+	GMdTables, DMdTables, ADTables []string
+	// Graph and Order document the join-order decision for
+	// inspection and the ablation experiments.
+	Graph *Graph
+	Order *Order
+	// SamplePct carries the query's approximative-answering request
+	// (0 = exact).
+	SamplePct float64
+}
+
+// Type returns the paper's query type taxonomy (Table I): which classes
+// of data the query refers to.
+//
+//	T1: GMd            T2: DMd           T3: DMd & GMd
+//	T4: GMd & AD       T5: DMd & GMd & AD
+//
+// Queries outside the taxonomy (e.g. AD only) return 0.
+func (p *Plan) Type() int {
+	g, d, a := len(p.GMdTables) > 0, len(p.DMdTables) > 0, len(p.ADTables) > 0
+	switch {
+	case g && !d && !a:
+		return 1
+	case d && !g && !a:
+		return 2
+	case d && g && !a:
+		return 3
+	case g && !d && a:
+		return 4
+	case g && d && a:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// Build compiles a query against the catalog: view expansion, predicate
+// pushdown, R1–R4 join ordering, Qf marking, aggregation and ordering.
+func Build(cat *table.Catalog, q *Query) (*Plan, error) {
+	if q.SamplePct < 0 || q.SamplePct > 100 {
+		return nil, fmt.Errorf("plan: SAMPLE %v outside [0, 100]", q.SamplePct)
+	}
+	tabs, joins, err := resolveFrom(cat, q.From)
+	if err != nil {
+		return nil, err
+	}
+	// Qualify every column reference so predicates can be classified
+	// by table.
+	if q.Where != nil {
+		q.Where = expr.Clone(q.Where)
+		if err := qualifyExpr(tabs, q.Where); err != nil {
+			return nil, err
+		}
+	}
+	for i := range q.Select {
+		if q.Select[i].Expr != nil {
+			q.Select[i].Expr = expr.Clone(q.Select[i].Expr)
+			if err := qualifyExpr(tabs, q.Select[i].Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, g := range q.GroupBy {
+		qn, err := qualifyName(tabs, g)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy[i] = qn
+	}
+	for i, k := range q.OrderBy {
+		qn, err := qualifyName(tabs, k.Col)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy[i].Col = qn
+	}
+
+	// Classify WHERE conjuncts: single-table predicates push down to
+	// scans, two-table equalities become join edges, the rest stays
+	// residual.
+	pushdown := make(map[string][]expr.Expr)
+	var residual []expr.Expr
+	extraJoins := []table.JoinPred{}
+	for _, c := range expr.Conjuncts(q.Where) {
+		refTabs := expr.Tables(c)
+		switch len(refTabs) {
+		case 0:
+			residual = append(residual, c)
+		case 1:
+			pushdown[refTabs[0]] = append(pushdown[refTabs[0]], c)
+		case 2:
+			if l, r, ok := expr.JoinEq(c); ok {
+				extraJoins = append(extraJoins, table.JoinPred{Left: l, Right: r})
+			} else {
+				residual = append(residual, c)
+			}
+		default:
+			residual = append(residual, c)
+		}
+	}
+	joins = append(joins, extraJoins...)
+
+	// Predicate inference through range mappings: a range predicate on
+	// an actual-data column whose values are bounded per chunk by
+	// metadata columns implies a metadata predicate, letting the Qf
+	// branch prune chunks (e.g. D.sample_time ranges imply bounds on
+	// S.start_time / S.end_time).
+	inTabs := func(name string) bool {
+		for _, t := range tabs {
+			if t.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range cat.RangeMappings() {
+		adTab, _, err := table.SplitQualified(m.ADColumn)
+		if err != nil {
+			return nil, err
+		}
+		loTab, _, err := table.SplitQualified(m.MdLo)
+		if err != nil {
+			return nil, err
+		}
+		hiTab, _, err := table.SplitQualified(m.MdHi)
+		if err != nil {
+			return nil, err
+		}
+		if !inTabs(adTab) || !inTabs(loTab) || !inTabs(hiTab) {
+			continue
+		}
+		for _, c := range pushdown[adTab] {
+			for _, inferred := range inferRangePreds(m, c) {
+				mdTab := expr.Tables(inferred)[0]
+				pushdown[mdTab] = append(pushdown[mdTab], inferred)
+			}
+		}
+	}
+
+	// Build the colored query graph.
+	graph := &Graph{}
+	vertIdx := make(map[string]int, len(tabs))
+	for _, t := range tabs {
+		vertIdx[t.Name] = len(graph.Verts)
+		graph.Verts = append(graph.Verts, Vertex{
+			Table:    t.Name,
+			Class:    t.Class,
+			Filtered: len(pushdown[t.Name]) > 0,
+		})
+	}
+	for _, j := range joins {
+		lt, _, err := table.SplitQualified(j.Left)
+		if err != nil {
+			return nil, err
+		}
+		rt, _, err := table.SplitQualified(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		a, aok := vertIdx[lt]
+		b, bok := vertIdx[rt]
+		if !aok || !bok {
+			return nil, fmt.Errorf("plan: join %v references table outside FROM", j)
+		}
+		if a == b {
+			return nil, fmt.Errorf("plan: self-join predicate %v not supported", j)
+		}
+		e := GraphEdge{A: min(a, b), B: max(a, b), Pred: j}
+		graph.Edges = append(graph.Edges, e)
+	}
+
+	ord, err := OrderJoins(graph)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize the join tree following the order; track where the
+	// red phase ends — that subtree is Qf.
+	p := &Plan{Graph: graph, Order: ord}
+	var root Node
+	var qf Node
+	for stepIdx, st := range ord.Steps {
+		v := st.Verts[0]
+		t, _ := cat.Table(graph.Verts[v].Table)
+		scan := NewScan(t, expr.Conjoin(pushdown[t.Name]))
+		if root == nil {
+			root = scan
+		} else {
+			preds := make([]table.JoinPred, 0, len(st.Edges))
+			for _, e := range st.Edges {
+				preds = append(preds, e.Pred)
+			}
+			root = NewJoin(root, scan, preds)
+		}
+		if stepIdx == ord.RedSteps-1 {
+			// Metadata-only residual predicates evaluate inside Qf
+			// to maximize chunk filtering.
+			rest := residual[:0:0]
+			for _, r := range residual {
+				if onlyMetadata(cat, r) {
+					root = NewSelect(root, r)
+				} else {
+					rest = append(rest, r)
+				}
+			}
+			residual = rest
+			qf = root
+		}
+	}
+	if pred := expr.Conjoin(residual); pred != nil {
+		root = NewSelect(root, pred)
+	}
+
+	for _, t := range tabs {
+		switch t.Class {
+		case table.GivenMetadata:
+			p.GMdTables = append(p.GMdTables, t.Name)
+		case table.DerivedMetadata:
+			p.DMdTables = append(p.DMdTables, t.Name)
+		case table.ActualData:
+			p.ADTables = append(p.ADTables, t.Name)
+		}
+	}
+	p.TwoStage = len(p.ADTables) > 0
+
+	root, err = applySelect(root, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		root, err = NewSort(root, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 {
+		root = &Limit{In: root, N: q.Limit}
+	}
+	if q.SamplePct > 0 && q.SamplePct < 100 {
+		p.SamplePct = q.SamplePct
+	}
+	p.Root = root
+	p.Qf = qf
+	return p, nil
+}
+
+// applySelect adds aggregation or projection on top of the join tree.
+func applySelect(root Node, q *Query) (Node, error) {
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("plan: empty select list")
+	}
+	hasAgg := false
+	for _, it := range q.Select {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(q.GroupBy) > 0 {
+		return nil, fmt.Errorf("plan: GROUP BY without aggregates")
+	}
+	if !hasAgg {
+		cols := make([]OutputCol, len(q.Select))
+		for i, it := range q.Select {
+			cols[i] = OutputCol{Name: itemName(it), Expr: it.Expr}
+		}
+		return NewProject(root, cols)
+	}
+	var aggs []AggSpec
+	for _, it := range q.Select {
+		if it.Agg == AggNone {
+			cr, ok := it.Expr.(*expr.ColRef)
+			if !ok {
+				return nil, fmt.Errorf("plan: non-aggregated select item %q must be a grouping column", itemName(it))
+			}
+			found := false
+			for _, g := range q.GroupBy {
+				if g == cr.Name {
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("plan: column %s not in GROUP BY", cr.Name)
+			}
+			continue
+		}
+		aggs = append(aggs, AggSpec{Func: it.Agg, Arg: it.Expr, Name: itemName(it)})
+	}
+	agg, err := NewAggregate(root, q.GroupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	// Project into the user's select order and names.
+	cols := make([]OutputCol, len(q.Select))
+	for i, it := range q.Select {
+		cols[i] = OutputCol{Name: itemName(it), Expr: expr.Col(itemName(it))}
+		if it.Agg == AggNone {
+			cols[i].Expr = expr.Col(it.Expr.(*expr.ColRef).Name)
+			cols[i].Name = itemName(it)
+		}
+	}
+	return NewProject(agg, cols)
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != AggNone {
+		arg := "*"
+		if it.Expr != nil {
+			arg = it.Expr.String()
+		}
+		return fmt.Sprintf("%s(%s)", it.Agg, arg)
+	}
+	return it.Expr.String()
+}
+
+// inferRangePreds derives metadata predicates from one conjunct over
+// the mapped actual-data column. A chunk's values lie within [Lo, Hi),
+// so:
+//
+//	ad >  c  or  ad >= c   implies   Hi >  c
+//	ad <  c  or  ad <= c   implies   Lo <= c
+//	ad =  c                implies   both
+func inferRangePreds(m table.RangeMapping, c expr.Expr) []expr.Expr {
+	var out []expr.Expr
+	addHi := func(k *expr.Const) {
+		kc := *k
+		out = append(out, expr.NewCmp(expr.GT, expr.Col(m.MdHi), &kc))
+	}
+	addLo := func(k *expr.Const) {
+		kc := *k
+		out = append(out, expr.NewCmp(expr.LE, expr.Col(m.MdLo), &kc))
+	}
+	if col, k, ok := expr.EqConst(c); ok && col == m.ADColumn {
+		addHi(k)
+		addLo(k)
+		return out
+	}
+	col, op, k, ok := expr.RangeConst(c)
+	if !ok || col != m.ADColumn {
+		return nil
+	}
+	switch op {
+	case expr.GT, expr.GE:
+		addHi(k)
+	case expr.LT, expr.LE:
+		addLo(k)
+	}
+	return out
+}
+
+// resolveFrom expands the FROM clause into base tables and join
+// predicates.
+func resolveFrom(cat *table.Catalog, from string) ([]*table.Table, []table.JoinPred, error) {
+	if t, ok := cat.Table(from); ok {
+		return []*table.Table{t}, nil, nil
+	}
+	v, ok := cat.View(from)
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: unknown table or view %q", from)
+	}
+	tabs := make([]*table.Table, 0, len(v.Tables))
+	for _, tn := range v.Tables {
+		t, ok := cat.Table(tn)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: view %q references missing table %q", from, tn)
+		}
+		tabs = append(tabs, t)
+	}
+	return tabs, append([]table.JoinPred{}, v.Joins...), nil
+}
+
+// qualifyExpr rewrites unqualified column references to qualified form,
+// resolving each against the FROM tables.
+func qualifyExpr(tabs []*table.Table, e expr.Expr) error {
+	var firstErr error
+	e.Walk(func(x expr.Expr) {
+		if firstErr != nil {
+			return
+		}
+		if c, ok := x.(*expr.ColRef); ok {
+			qn, err := qualifyName(tabs, c.Name)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			c.Name = qn
+		}
+	})
+	return firstErr
+}
+
+// qualifyName resolves a possibly unqualified column name against the
+// FROM tables.
+func qualifyName(tabs []*table.Table, name string) (string, error) {
+	if strings.Contains(name, ".") {
+		tn, cn, err := table.SplitQualified(name)
+		if err != nil {
+			return "", err
+		}
+		for _, t := range tabs {
+			if t.Name == tn {
+				if t.Schema.IndexOf(cn) < 0 {
+					return "", fmt.Errorf("plan: table %s has no column %q", tn, cn)
+				}
+				return name, nil
+			}
+		}
+		return "", fmt.Errorf("plan: table %q not in FROM", tn)
+	}
+	var found string
+	for _, t := range tabs {
+		if t.Schema.IndexOf(name) >= 0 {
+			if found != "" {
+				return "", fmt.Errorf("plan: column %q is ambiguous (%s and %s)", name, found, t.Name)
+			}
+			found = t.Name + "." + name
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("plan: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// onlyMetadata reports whether every table referenced by e is a
+// metadata table.
+func onlyMetadata(cat *table.Catalog, e expr.Expr) bool {
+	for _, tn := range expr.Tables(e) {
+		t, ok := cat.Table(tn)
+		if !ok || !t.Class.IsMetadata() {
+			return false
+		}
+	}
+	return true
+}

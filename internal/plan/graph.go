@@ -1,0 +1,298 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/table"
+)
+
+// Color classifies query-graph vertices and edges, following the
+// paper's scheme: metadata vertices are red, actual-data vertices
+// black; an edge is red between two red vertices, black between two
+// black vertices, and blue between a red and a black vertex.
+type Color uint8
+
+// Colors.
+const (
+	Red Color = iota
+	Blue
+	Black
+)
+
+// String names the color.
+func (c Color) String() string { return [...]string{"red", "blue", "black"}[c] }
+
+// Vertex is one base table occurrence in the query graph.
+type Vertex struct {
+	Table string
+	Class table.Class
+	// Filtered records whether a selection predicate was pushed down
+	// to this table; the greedy join order prefers filtered tables
+	// first.
+	Filtered bool
+}
+
+// Color returns red for metadata tables, black for actual data.
+func (v Vertex) Color() Color {
+	if v.Class.IsMetadata() {
+		return Red
+	}
+	return Black
+}
+
+// GraphEdge is an equality join predicate connecting two vertices.
+type GraphEdge struct {
+	A, B int // vertex indexes, A < B
+	Pred table.JoinPred
+}
+
+// Graph is the query graph the join-order optimizer works on.
+type Graph struct {
+	Verts []Vertex
+	Edges []GraphEdge
+}
+
+// EdgeColor derives the color of edge e from its endpoint classes.
+func (g *Graph) EdgeColor(e GraphEdge) Color {
+	ca, cb := g.Verts[e.A].Color(), g.Verts[e.B].Color()
+	switch {
+	case ca == Red && cb == Red:
+		return Red
+	case ca == Black && cb == Black:
+		return Black
+	default:
+		return Blue
+	}
+}
+
+// JoinStep records one join of the produced order: the right input
+// vertex (or vertex set for the red phase) and the edges applied.
+type JoinStep struct {
+	// Verts are the vertexes joined in this step.
+	Verts []int
+	// Edges are the graph edges used as join predicates; empty for a
+	// cross product (rule R2).
+	Edges []GraphEdge
+	// Cross records that this step had to use a cross product.
+	Cross bool
+}
+
+// Order is the result of join ordering: a sequence of steps building a
+// left-deep tree, plus the index of the last pure-metadata step. Steps
+// [0, RedSteps) join only red vertices — they form the Qf branch.
+type Order struct {
+	Steps    []JoinStep
+	RedSteps int
+}
+
+// OrderJoins arranges the joins of g according to the paper's extended
+// rule set:
+//
+//	R1: join on red edges first, before anything else.
+//	R2: only if necessary, use cross products to join all red
+//	    vertices into one, before using any blue or black edge.
+//	R3: no bushy plans containing black vertices (the black phase
+//	    below is strictly linear).
+//	R4: join on black edges only if all other edges are used.
+//
+// Within the rules, filtered tables are preferred earlier (the simple
+// selectivity heuristic the paper's example assumes).
+func OrderJoins(g *Graph) (*Order, error) {
+	if len(g.Verts) == 0 {
+		return nil, fmt.Errorf("plan: empty query graph")
+	}
+	for _, e := range g.Edges {
+		if e.A >= e.B || e.B >= len(g.Verts) || e.A < 0 {
+			return nil, fmt.Errorf("plan: malformed edge %v", e)
+		}
+	}
+	var reds, blacks []int
+	for i, v := range g.Verts {
+		if v.Color() == Red {
+			reds = append(reds, i)
+		} else {
+			blacks = append(blacks, i)
+		}
+	}
+	ord := &Order{}
+	joined := make(map[int]bool)
+	edgeUsed := make([]bool, len(g.Edges))
+
+	// pendingEdges returns the unused edges between the joined set and
+	// vertex v.
+	pendingEdges := func(v int) []GraphEdge {
+		var out []GraphEdge
+		for i, e := range g.Edges {
+			if edgeUsed[i] {
+				continue
+			}
+			if (e.A == v && joined[e.B]) || (e.B == v && joined[e.A]) {
+				out = append(out, e)
+				edgeUsed[i] = true
+			}
+		}
+		return out
+	}
+
+	// candidate order: filtered tables first, then by index for
+	// determinism.
+	sortByFilter := func(idxs []int) {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			fa, fb := g.Verts[idxs[a]].Filtered, g.Verts[idxs[b]].Filtered
+			if fa != fb {
+				return fa
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+
+	// Phase 1 (R1/R2): join all red vertices using red edges, falling
+	// back to cross products only when the red subgraph is
+	// disconnected.
+	remaining := append([]int{}, reds...)
+	sortByFilter(remaining)
+	for len(remaining) > 0 {
+		if len(ord.Steps) == 0 {
+			v := remaining[0]
+			remaining = remaining[1:]
+			joined[v] = true
+			ord.Steps = append(ord.Steps, JoinStep{Verts: []int{v}})
+			continue
+		}
+		// R1: prefer a red vertex connected to the joined set by an
+		// unused red edge.
+		picked := -1
+		for pos, v := range remaining {
+			connected := false
+			for i, e := range g.Edges {
+				if edgeUsed[i] || g.EdgeColor(e) != Red {
+					continue
+				}
+				if (e.A == v && joined[e.B]) || (e.B == v && joined[e.A]) {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				picked = pos
+				break
+			}
+		}
+		cross := false
+		if picked < 0 {
+			// R2: cross product to bring in the next red component.
+			picked = 0
+			cross = true
+		}
+		v := remaining[picked]
+		remaining = append(remaining[:picked], remaining[picked+1:]...)
+		joined[v] = true
+		edges := pendingEdges(v)
+		ord.Steps = append(ord.Steps, JoinStep{Verts: []int{v}, Edges: edges, Cross: cross && len(edges) == 0})
+	}
+	ord.RedSteps = len(ord.Steps)
+
+	// Phase 2 (R3/R4): attach black vertices linearly. Prefer blue
+	// edges (R4: black edges only when no blue connection remains);
+	// cross products only for fully disconnected vertices.
+	remaining = append([]int{}, blacks...)
+	sortByFilter(remaining)
+	for len(remaining) > 0 {
+		picked := -1
+		// Look for a vertex reachable via an unused blue edge.
+		for pos, v := range remaining {
+			for i, e := range g.Edges {
+				if edgeUsed[i] || g.EdgeColor(e) != Blue {
+					continue
+				}
+				if (e.A == v && joined[e.B]) || (e.B == v && joined[e.A]) {
+					picked = pos
+					break
+				}
+			}
+			if picked >= 0 {
+				break
+			}
+		}
+		if picked < 0 {
+			// R4: fall back to black edges.
+			for pos, v := range remaining {
+				for i, e := range g.Edges {
+					if edgeUsed[i] || g.EdgeColor(e) != Black {
+						continue
+					}
+					if (e.A == v && joined[e.B]) || (e.B == v && joined[e.A]) {
+						picked = pos
+						break
+					}
+				}
+				if picked >= 0 {
+					break
+				}
+			}
+		}
+		cross := false
+		if picked < 0 {
+			picked = 0
+			cross = true
+		}
+		v := remaining[picked]
+		remaining = append(remaining[:picked], remaining[picked+1:]...)
+		if len(ord.Steps) == 0 {
+			// A plan with no metadata tables at all: no red phase.
+			joined[v] = true
+			ord.Steps = append(ord.Steps, JoinStep{Verts: []int{v}})
+			continue
+		}
+		joined[v] = true
+		edges := pendingEdges(v)
+		ord.Steps = append(ord.Steps, JoinStep{Verts: []int{v}, Edges: edges, Cross: cross && len(edges) == 0})
+	}
+	return ord, nil
+}
+
+// Validate checks the R1–R4 invariants on a produced order; it is used
+// by tests and exposed for the ablation harness.
+func Validate(g *Graph, ord *Order) error {
+	joined := make(map[int]bool)
+	for stepIdx, st := range ord.Steps {
+		for _, v := range st.Verts {
+			if joined[v] {
+				return fmt.Errorf("plan: vertex %d joined twice", v)
+			}
+			joined[v] = true
+			color := g.Verts[v].Color()
+			if stepIdx < ord.RedSteps && color != Red {
+				return fmt.Errorf("plan: black vertex %d inside red phase", v)
+			}
+			if stepIdx >= ord.RedSteps && color == Red {
+				return fmt.Errorf("plan: red vertex %d after red phase (violates R1)", v)
+			}
+		}
+	}
+	if len(joined) != len(g.Verts) {
+		return fmt.Errorf("plan: order covers %d of %d vertices", len(joined), len(g.Verts))
+	}
+	// R4: once any black edge is used, no blue edge may follow.
+	blackSeen := false
+	for _, st := range ord.Steps {
+		hasBlue, hasBlack := false, false
+		for _, e := range st.Edges {
+			switch g.EdgeColor(e) {
+			case Blue:
+				hasBlue = true
+			case Black:
+				hasBlack = true
+			case Red:
+			}
+		}
+		if hasBlue && blackSeen {
+			return fmt.Errorf("plan: blue edge used after a black edge (violates R4)")
+		}
+		if hasBlack && !hasBlue {
+			blackSeen = true
+		}
+	}
+	return nil
+}

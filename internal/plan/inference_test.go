@@ -1,0 +1,128 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/seismic"
+	"sommelier/internal/table"
+)
+
+// scanFilterOf returns the pushed-down filter of the named table's scan.
+func scanFilterOf(root Node, tab string) expr.Expr {
+	var out expr.Expr
+	var rec func(Node)
+	rec = func(n Node) {
+		if s, ok := n.(*Scan); ok && s.Table == tab {
+			out = s.Filter
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(root)
+	return out
+}
+
+func TestRangeInferenceDerivesSegmentPredicates(t *testing.T) {
+	cat := seismic.NewCatalog()
+	q := query1() // D.sample_time ∈ (t1, t2)
+	p, err := Build(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := scanFilterOf(p.Root, "S")
+	if sf == nil {
+		t.Fatal("no inferred predicate on S")
+	}
+	repr := sf.String()
+	// ad > c implies Hi > c; ad < c implies Lo <= c.
+	if !strings.Contains(repr, "S.end_time >") || !strings.Contains(repr, "S.start_time <=") {
+		t.Fatalf("inferred = %s", repr)
+	}
+	// The S vertex must now count as filtered (join-order heuristic).
+	for _, v := range p.Graph.Verts {
+		if v.Table == "S" && !v.Filtered {
+			t.Fatal("S not marked filtered after inference")
+		}
+	}
+}
+
+func TestEqualityInferenceDerivesBothBounds(t *testing.T) {
+	cat := seismic.NewCatalog()
+	q := &Query{
+		Select: []SelectItem{{Agg: AggCount, Alias: "n"}},
+		From:   seismic.ViewData,
+		Where: expr.Conjoin([]expr.Expr{
+			expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.Str("ISK")),
+			expr.NewCmp(expr.EQ, expr.Col("D.sample_time"), expr.Time(12345)),
+		}),
+	}
+	p, err := Build(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := scanFilterOf(p.Root, "S")
+	if sf == nil {
+		t.Fatal("no inferred predicate on S")
+	}
+	repr := sf.String()
+	if !strings.Contains(repr, "S.end_time >") || !strings.Contains(repr, "S.start_time <=") {
+		t.Fatalf("point lookup should bound both sides, got %s", repr)
+	}
+}
+
+func TestInferenceSoundness(t *testing.T) {
+	// The inferred predicate must be implied by the original: any
+	// segment [lo, hi) containing a sample t with t > c must satisfy
+	// hi > c, and with t < c must satisfy lo <= c. Exercise the
+	// algebra directly over a grid of cases.
+	m := table.RangeMapping{ADColumn: "D.sample_time", MdLo: "S.start_time", MdHi: "S.end_time"}
+	for _, tc := range []struct {
+		op   expr.CmpOp
+		c    int64
+		want string
+	}{
+		{expr.GT, 100, "S.end_time >"},
+		{expr.GE, 100, "S.end_time >"},
+		{expr.LT, 100, "S.start_time <="},
+		{expr.LE, 100, "S.start_time <="},
+	} {
+		e := expr.NewCmp(tc.op, expr.Col("D.sample_time"), expr.Time(tc.c))
+		got := inferRangePreds(m, e)
+		if len(got) != 1 {
+			t.Fatalf("%v: %d predicates", tc.op, len(got))
+		}
+		if !strings.Contains(got[0].String(), tc.want) {
+			t.Fatalf("%v inferred %s, want %s", tc.op, got[0], tc.want)
+		}
+	}
+	// Predicates on other columns infer nothing.
+	if got := inferRangePreds(m, expr.NewCmp(expr.GT, expr.Col("D.sample_value"), expr.Float(1))); got != nil {
+		t.Fatalf("value predicate inferred %v", got)
+	}
+	// Non-range predicates infer nothing.
+	if got := inferRangePreds(m, expr.NewCmp(expr.NE, expr.Col("D.sample_time"), expr.Time(1))); got != nil {
+		t.Fatalf("inequality inferred %v", got)
+	}
+}
+
+func TestInferenceSkippedWhenTablesAbsent(t *testing.T) {
+	// A query over D alone (no S in FROM) must not reference S.
+	cat := seismic.NewCatalog()
+	q := &Query{
+		Select: []SelectItem{{Agg: AggCount, Alias: "n"}},
+		From:   seismic.TableD,
+		Where:  expr.NewCmp(expr.GT, expr.Col("sample_time"), expr.Time(5)),
+	}
+	p, err := Build(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range scanTables(p.Root) {
+		if tab == "S" {
+			t.Fatal("inference dragged S into a D-only query")
+		}
+	}
+}

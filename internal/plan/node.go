@@ -1,0 +1,398 @@
+// Package plan builds logical query plans. It implements the paper's
+// compile-time optimizer: the colored query graph (metadata vertices
+// red, actual-data vertices black; red/blue/black edges), the join-order
+// rules R1–R4 that force every metadata join below any actual-data
+// access, and the decomposition of a plan Q into the metadata branch Qf
+// (evaluated in stage one to identify the chunks of interest) and the
+// remainder Qs.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/storage"
+	"sommelier/internal/table"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions. AggNone marks a plain (non-aggregated) select
+// item.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggStddev
+)
+
+// String returns the SQL name of the function.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggStddev:
+		return "STDDEV"
+	default:
+		return ""
+	}
+}
+
+// Node is a logical plan operator. Every node knows its output schema
+// (qualified column names and kinds).
+type Node interface {
+	// Names returns the qualified output column names.
+	Names() []string
+	// Kinds returns the output column kinds, aligned with Names.
+	Kinds() []storage.Kind
+	// Children returns the input nodes.
+	Children() []Node
+	// String renders the operator (not the subtree).
+	String() string
+}
+
+// Scan reads one base table; Filter is the pushed-down selection over
+// this table only (may be nil). For actual-data tables the executor's
+// run-time optimizer replaces the Scan by a union of cache-scans and
+// chunk-accesses once stage one has identified the chunks.
+type Scan struct {
+	Table  string
+	Class  table.Class
+	Filter expr.Expr
+	names  []string
+	kinds  []storage.Kind
+}
+
+// NewScan builds a scan of the cataloged table.
+func NewScan(t *table.Table, filter expr.Expr) *Scan {
+	return &Scan{
+		Table:  t.Name,
+		Class:  t.Class,
+		Filter: filter,
+		names:  t.Schema.QualifiedNames(t.Name),
+		kinds:  t.Schema.Kinds(),
+	}
+}
+
+// Names implements Node.
+func (s *Scan) Names() []string { return s.names }
+
+// Kinds implements Node.
+func (s *Scan) Kinds() []storage.Kind { return s.kinds }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// String implements Node.
+func (s *Scan) String() string {
+	if s.Filter != nil {
+		return fmt.Sprintf("scan(%s | %s)", s.Table, s.Filter)
+	}
+	return fmt.Sprintf("scan(%s)", s.Table)
+}
+
+// Join is an inner equi-join (cross product when Preds is empty).
+type Join struct {
+	L, R  Node
+	Preds []table.JoinPred
+	names []string
+	kinds []storage.Kind
+}
+
+// NewJoin builds a join node.
+func NewJoin(l, r Node, preds []table.JoinPred) *Join {
+	return &Join{
+		L: l, R: r, Preds: preds,
+		names: append(append([]string{}, l.Names()...), r.Names()...),
+		kinds: append(append([]storage.Kind{}, l.Kinds()...), r.Kinds()...),
+	}
+}
+
+// Names implements Node.
+func (j *Join) Names() []string { return j.names }
+
+// Kinds implements Node.
+func (j *Join) Kinds() []storage.Kind { return j.kinds }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// String implements Node.
+func (j *Join) String() string {
+	if len(j.Preds) == 0 {
+		return "cross"
+	}
+	parts := make([]string, len(j.Preds))
+	for i, p := range j.Preds {
+		parts[i] = p.Left + "=" + p.Right
+	}
+	return "join(" + strings.Join(parts, ",") + ")"
+}
+
+// Select filters rows by a residual predicate that could not be pushed
+// into a scan.
+type Select struct {
+	In   Node
+	Pred expr.Expr
+}
+
+// NewSelect builds a selection node.
+func NewSelect(in Node, pred expr.Expr) *Select { return &Select{In: in, Pred: pred} }
+
+// Names implements Node.
+func (s *Select) Names() []string { return s.In.Names() }
+
+// Kinds implements Node.
+func (s *Select) Kinds() []storage.Kind { return s.In.Kinds() }
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.In} }
+
+// String implements Node.
+func (s *Select) String() string { return fmt.Sprintf("select(%s)", s.Pred) }
+
+// OutputCol is one projected output column.
+type OutputCol struct {
+	Name string
+	Expr expr.Expr
+	Kind storage.Kind
+}
+
+// Project evaluates scalar expressions into named output columns.
+type Project struct {
+	In   Node
+	Cols []OutputCol
+}
+
+// NewProject builds a projection; expressions are bound against the
+// input schema to determine output kinds.
+func NewProject(in Node, cols []OutputCol) (*Project, error) {
+	for i := range cols {
+		k, err := cols[i].Expr.Bind(in.Names(), in.Kinds())
+		if err != nil {
+			return nil, err
+		}
+		cols[i].Kind = k
+	}
+	return &Project{In: in, Cols: cols}, nil
+}
+
+// Names implements Node.
+func (p *Project) Names() []string {
+	out := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Kinds implements Node.
+func (p *Project) Kinds() []storage.Kind {
+	out := make([]storage.Kind, len(p.Cols))
+	for i, c := range p.Cols {
+		out[i] = c.Kind
+	}
+	return out
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.In} }
+
+// String implements Node.
+func (p *Project) String() string { return fmt.Sprintf("project(%d cols)", len(p.Cols)) }
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string
+}
+
+// Aggregate groups by columns and computes aggregates per group (or one
+// global group when GroupBy is empty).
+type Aggregate struct {
+	In      Node
+	GroupBy []string
+	Aggs    []AggSpec
+	names   []string
+	kinds   []storage.Kind
+}
+
+// NewAggregate builds an aggregation node, binding aggregate arguments
+// against the input schema.
+func NewAggregate(in Node, groupBy []string, aggs []AggSpec) (*Aggregate, error) {
+	a := &Aggregate{In: in, GroupBy: groupBy, Aggs: aggs}
+	inNames, inKinds := in.Names(), in.Kinds()
+	for _, g := range groupBy {
+		c := expr.Col(g)
+		k, err := c.Bind(inNames, inKinds)
+		if err != nil {
+			return nil, err
+		}
+		a.names = append(a.names, g)
+		a.kinds = append(a.kinds, k)
+	}
+	for i := range aggs {
+		spec := &aggs[i]
+		var argKind storage.Kind
+		if spec.Arg != nil {
+			k, err := spec.Arg.Bind(inNames, inKinds)
+			if err != nil {
+				return nil, err
+			}
+			argKind = k
+		} else if spec.Func != AggCount {
+			return nil, fmt.Errorf("plan: %s requires an argument", spec.Func)
+		}
+		a.names = append(a.names, spec.Name)
+		a.kinds = append(a.kinds, aggResultKind(spec.Func, argKind))
+	}
+	a.Aggs = aggs
+	return a, nil
+}
+
+func aggResultKind(f AggFunc, arg storage.Kind) storage.Kind {
+	switch f {
+	case AggCount:
+		return storage.KindInt64
+	case AggAvg, AggStddev:
+		return storage.KindFloat64
+	case AggSum:
+		if arg == storage.KindInt64 {
+			return storage.KindInt64
+		}
+		return storage.KindFloat64
+	default: // MIN, MAX keep the argument kind
+		return arg
+	}
+}
+
+// Names implements Node.
+func (a *Aggregate) Names() []string { return a.names }
+
+// Kinds implements Node.
+func (a *Aggregate) Kinds() []storage.Kind { return a.kinds }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.In} }
+
+// String implements Node.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("aggregate(group=%v, aggs=%d)", a.GroupBy, len(a.Aggs))
+}
+
+// OrderKey is one sort key.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort orders rows by the given keys.
+type Sort struct {
+	In   Node
+	Keys []OrderKey
+}
+
+// NewSort builds a sort node after validating the keys.
+func NewSort(in Node, keys []OrderKey) (*Sort, error) {
+	for _, k := range keys {
+		if _, err := expr.Col(k.Col).Bind(in.Names(), in.Kinds()); err != nil {
+			return nil, err
+		}
+	}
+	return &Sort{In: in, Keys: keys}, nil
+}
+
+// Names implements Node.
+func (s *Sort) Names() []string { return s.In.Names() }
+
+// Kinds implements Node.
+func (s *Sort) Kinds() []storage.Kind { return s.In.Kinds() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.In} }
+
+// String implements Node.
+func (s *Sort) String() string { return fmt.Sprintf("sort(%v)", s.Keys) }
+
+// Limit keeps the first N rows.
+type Limit struct {
+	In Node
+	N  int
+}
+
+// Names implements Node.
+func (l *Limit) Names() []string { return l.In.Names() }
+
+// Kinds implements Node.
+func (l *Limit) Kinds() []storage.Kind { return l.In.Kinds() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.In} }
+
+// String implements Node.
+func (l *Limit) String() string { return fmt.Sprintf("limit(%d)", l.N) }
+
+// Render pretty-prints a plan subtree, marking the Qf branch in the
+// spirit of the paper's bold-face notation.
+func Render(root Node, qf Node) string {
+	var sb strings.Builder
+	var rec func(n Node, depth int, inQf bool)
+	rec = func(n Node, depth int, inQf bool) {
+		if n == qf {
+			inQf = true
+		}
+		sb.WriteString(strings.Repeat("  ", depth))
+		if inQf {
+			sb.WriteString("[Qf] ")
+		}
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1, inQf)
+		}
+	}
+	rec(root, 0, false)
+	return sb.String()
+}
+
+// RenderAnnotated pretty-prints a plan like Render, appending the
+// annotation returned by annot (if any) to each operator line. It is
+// the backbone of EXPLAIN ANALYZE.
+func RenderAnnotated(root Node, qf Node, annot func(Node) string) string {
+	var sb strings.Builder
+	var rec func(n Node, depth int, inQf bool)
+	rec = func(n Node, depth int, inQf bool) {
+		if n == qf {
+			inQf = true
+		}
+		sb.WriteString(strings.Repeat("  ", depth))
+		if inQf {
+			sb.WriteString("[Qf] ")
+		}
+		sb.WriteString(n.String())
+		if a := annot(n); a != "" {
+			sb.WriteString("   -- ")
+			sb.WriteString(a)
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1, inQf)
+		}
+	}
+	rec(root, 0, false)
+	return sb.String()
+}

@@ -1,0 +1,145 @@
+package registrar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sommelier/internal/storage"
+)
+
+// IndexFileName is the well-known name of the chunk listing an HTTP
+// archive serves at its root.
+const IndexFileName = "index.txt"
+
+// HTTPRepository is a chunk repository behind an HTTP interface: the
+// paper's §VIII "Other Sources" future work. The archive serves a plain
+// chunk listing at <base>/index.txt (one relative path per line) and
+// the chunk files themselves underneath. Metadata registration and
+// chunk-access both stream over HTTP; the rest of the system is
+// oblivious to the transport.
+type HTTPRepository struct {
+	// BaseURL of the archive, without trailing slash.
+	BaseURL string
+	// Client used for all requests; http.DefaultClient when nil.
+	Client *http.Client
+	// Timeout per request; 0 means no extra deadline.
+	Timeout time.Duration
+
+	paths []string // relative chunk paths, position = chunk ID
+}
+
+// DiscoverHTTPRepository fetches the archive's chunk listing.
+func DiscoverHTTPRepository(baseURL string, client *http.Client) (*HTTPRepository, error) {
+	r := &HTTPRepository{BaseURL: strings.TrimRight(baseURL, "/"), Client: client}
+	resp, err := r.client().Get(r.BaseURL + "/" + IndexFileName)
+	if err != nil {
+		return nil, fmt.Errorf("registrar: fetching chunk index: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("registrar: chunk index: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r.paths = append(r.paths, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.paths) == 0 {
+		return nil, fmt.Errorf("registrar: empty chunk index at %s", baseURL)
+	}
+	sort.Strings(r.paths)
+	return r, nil
+}
+
+func (r *HTTPRepository) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+// URIs implements Source; chunk URIs are the full URLs.
+func (r *HTTPRepository) URIs() []string {
+	out := make([]string, len(r.paths))
+	for i, p := range r.paths {
+		out[i] = r.BaseURL + "/" + p
+	}
+	return out
+}
+
+// Open implements Source: it GETs one chunk.
+func (r *HTTPRepository) Open(chunkID int64) (io.ReadCloser, error) {
+	if chunkID < 0 || chunkID >= int64(len(r.paths)) {
+		return nil, fmt.Errorf("registrar: chunk %d out of range", chunkID)
+	}
+	u := r.BaseURL + "/" + escapePath(r.paths[chunkID])
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	cl := r.client()
+	if r.Timeout > 0 {
+		c := *cl
+		c.Timeout = r.Timeout
+		cl = &c
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("registrar: chunk-access %s: %w", u, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("registrar: chunk-access %s: %s", u, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+func escapePath(p string) string {
+	parts := strings.Split(p, "/")
+	for i, s := range parts {
+		parts[i] = url.PathEscape(s)
+	}
+	return strings.Join(parts, "/")
+}
+
+// AllChunkIDs implements exec.ChunkLoader.
+func (r *HTTPRepository) AllChunkIDs(tableName string) []int64 { return allChunkIDs(r) }
+
+// LoadChunk implements exec.ChunkLoader: chunk-access over HTTP.
+func (r *HTTPRepository) LoadChunk(tableName string, chunkID int64) (*storage.Relation, error) {
+	return LoadChunkFromSource(r, tableName, chunkID)
+}
+
+// WriteIndexFile writes the index.txt listing for a local repository
+// directory so it can be served by any static HTTP server (or
+// httptest.Server in tests).
+func WriteIndexFile(dir string) error {
+	repo, err := DiscoverRepository(dir)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, uri := range repo.Uris {
+		rel, err := filepath.Rel(dir, uri)
+		if err != nil {
+			return err
+		}
+		sb.WriteString(filepath.ToSlash(rel))
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, IndexFileName), []byte(sb.String()), 0o644)
+}

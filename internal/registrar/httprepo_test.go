@@ -1,0 +1,120 @@
+package registrar
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sommelier/internal/seismic"
+)
+
+// serveRepo exposes a generated repository over HTTP.
+func serveRepo(t *testing.T) (*httptest.Server, *Repository) {
+	t.Helper()
+	dir, _ := genRepo(t, 2)
+	if err := WriteIndexFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.FileServer(http.Dir(dir)))
+	t.Cleanup(srv.Close)
+	local, err := DiscoverRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, local
+}
+
+func TestDiscoverHTTPRepository(t *testing.T) {
+	srv, local := serveRepo(t)
+	repo, err := DiscoverHTTPRepository(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.URIs()) != len(local.Uris) {
+		t.Fatalf("chunks = %d, want %d", len(repo.URIs()), len(local.Uris))
+	}
+	if got := repo.AllChunkIDs(seismic.TableD); len(got) != len(local.Uris) {
+		t.Fatalf("ids = %v", got)
+	}
+}
+
+func TestHTTPMetadataRegistration(t *testing.T) {
+	srv, local := serveRepo(t)
+	repo, err := DiscoverHTTPRepository(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	catHTTP := seismic.NewCatalog()
+	nHTTP, _, err := RegisterMetadata(catHTTP, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catLocal := seismic.NewCatalog()
+	nLocal, _, err := RegisterMetadata(catLocal, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHTTP != nLocal {
+		t.Fatalf("segments over HTTP = %d, local = %d", nHTTP, nLocal)
+	}
+	fH, _ := catHTTP.Table(seismic.TableF)
+	fL, _ := catLocal.Table(seismic.TableF)
+	if fH.Rows() != fL.Rows() {
+		t.Fatalf("F rows: %d vs %d", fH.Rows(), fL.Rows())
+	}
+}
+
+func TestHTTPChunkAccess(t *testing.T) {
+	srv, local := serveRepo(t)
+	repo, err := DiscoverHTTPRepository(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relH, err := repo.LoadChunk(seismic.TableD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relL, err := local.LoadChunk(seismic.TableD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relH.Rows() != relL.Rows() {
+		t.Fatalf("rows over HTTP = %d, local = %d", relH.Rows(), relL.Rows())
+	}
+	if _, err := repo.LoadChunk(seismic.TableD, 9999); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	// Missing index.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if _, err := DiscoverHTTPRepository(srv.URL, srv.Client()); err == nil {
+		t.Fatal("missing index accepted")
+	}
+	// Empty index.
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("# only a comment\n"))
+	}))
+	defer srv2.Close()
+	if _, err := DiscoverHTTPRepository(srv2.URL, srv2.Client()); err == nil {
+		t.Fatal("empty index accepted")
+	}
+	// Chunk vanishes after discovery.
+	srv3 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/"+IndexFileName {
+			w.Write([]byte("gone.msl\n"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv3.Close()
+	repo, err := DiscoverHTTPRepository(srv3.URL, srv3.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.LoadChunk(seismic.TableD, 0); err == nil {
+		t.Fatal("vanished chunk loaded")
+	}
+}

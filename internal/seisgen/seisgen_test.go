@@ -1,0 +1,150 @@
+package seisgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sommelier/internal/mseed"
+)
+
+func tinyConfig() Config {
+	cfg := DefaultConfig(3)
+	cfg.SamplesPerFile = 200
+	cfg.MeanSegments = 3
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Days: 1},
+		{Days: 1, Stations: DefaultStations()},
+		{Days: 1, Stations: DefaultStations(), SampleRate: 20},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(t.TempDir(), cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	st := cfg.Stations[0]
+	date := time.Date(2010, 1, 2, 0, 0, 0, 0, time.UTC)
+	a := Synthesize(cfg, st, "HHZ", date)
+	b := Synthesize(cfg, st, "HHZ", date)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generation is not deterministic")
+	}
+	// A different seed must change the data.
+	cfg2 := cfg
+	cfg2.Seed = 999
+	c := Synthesize(cfg2, st, "HHZ", date)
+	if reflect.DeepEqual(a.Segments[0].Samples, c.Segments[0].Samples) {
+		t.Fatal("different seeds produced identical samples")
+	}
+	// A different day must change the data.
+	d := Synthesize(cfg, st, "HHZ", date.AddDate(0, 0, 1))
+	if reflect.DeepEqual(a.Segments[0].Samples, d.Segments[0].Samples) {
+		t.Fatal("different days produced identical samples")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	cfg := tinyConfig()
+	st := cfg.Stations[0]
+	f := Synthesize(cfg, st, "HHZ", cfg.Start)
+	if f.Header.Station != st.Name || f.Header.Channel != "HHZ" {
+		t.Fatalf("header = %+v", f.Header)
+	}
+	if f.SampleCount() != cfg.SamplesPerFile {
+		t.Fatalf("samples = %d, want %d", f.SampleCount(), cfg.SamplesPerFile)
+	}
+	dayStart := cfg.Start.UnixNano()
+	dayEnd := cfg.Start.Add(24 * time.Hour).UnixNano()
+	var prevEnd int64
+	for i, seg := range f.Segments {
+		if seg.Header.StartTime < dayStart || seg.Header.EndTime() > dayEnd {
+			t.Fatalf("segment %d outside its day", i)
+		}
+		if seg.Header.StartTime < prevEnd {
+			t.Fatalf("segment %d overlaps predecessor", i)
+		}
+		prevEnd = seg.Header.EndTime()
+		if int(seg.Header.SampleCount) != len(seg.Samples) {
+			t.Fatalf("segment %d count mismatch", i)
+		}
+	}
+}
+
+func TestGenerateRepository(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	man, err := Generate(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := 0
+	for _, st := range cfg.Stations {
+		wantFiles += len(st.Channels) * cfg.Days
+	}
+	if len(man.Files) != wantFiles {
+		t.Fatalf("files = %d, want %d", len(man.Files), wantFiles)
+	}
+	if man.TotalSamples() != int64(wantFiles*cfg.SamplesPerFile) {
+		t.Fatalf("samples = %d", man.TotalSamples())
+	}
+	if man.TotalSegments() < wantFiles {
+		t.Fatalf("segments = %d", man.TotalSegments())
+	}
+	if man.TotalBytes() <= 0 {
+		t.Fatal("no bytes on disk")
+	}
+	// Every manifest entry must be readable and agree with the
+	// manifest's own metadata.
+	for _, fi := range man.Files[:3] {
+		hdr, segs, err := mseed.ReadMetadataFile(fi.URI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != fi.Header {
+			t.Fatalf("manifest header mismatch for %s", fi.URI)
+		}
+		if len(segs) != len(fi.Segments) {
+			t.Fatalf("manifest segment count mismatch for %s", fi.URI)
+		}
+		full, err := mseed.ReadChunkFile(fi.URI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.SampleCount() != fi.Samples {
+			t.Fatalf("manifest sample count mismatch for %s", fi.URI)
+		}
+	}
+}
+
+func TestEventBurstsProduceHighAmplitude(t *testing.T) {
+	// With EventRate 1 every segment carries a burst, so the maximum
+	// amplitude must clearly exceed the noise floor.
+	cfg := tinyConfig()
+	cfg.EventRate = 1
+	cfg.SamplesPerFile = 2000
+	cfg.MeanSegments = 1
+	f := Synthesize(cfg, cfg.Stations[0], "HHZ", cfg.Start)
+	maxAbs := int32(0)
+	for _, s := range f.Segments {
+		for _, v := range s.Samples {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs < 4000 {
+		t.Fatalf("max amplitude %d, expected an event burst", maxAbs)
+	}
+}

@@ -1,0 +1,110 @@
+// Package sqlparse parses the SQL subset the system accepts: single
+// SELECT statements over one table or view, with WHERE conjunctions and
+// disjunctions, aggregates, GROUP BY, ORDER BY and LIMIT — enough to
+// express the paper's Query 1, Query 2 and the whole T1–T5 workload
+// verbatim.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercased for idents' keyword checks? no: raw text
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9':
+			sawDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !sawDot {
+					sawDot = true
+					l.pos++
+					continue
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+			l.pos++
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"<>", "<=", ">=", "!="} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += 2
+					goto next
+				}
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', ';':
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+			}
+		next:
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,469 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/plan"
+	"sommelier/internal/storage"
+)
+
+// Parse turns a SELECT statement into a logical query specification.
+func Parse(sql string) (*plan.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return nil
+	}
+	return fmt.Errorf("sql: expected %q, got %q", sym, t.text)
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+var aggNames = map[string]plan.AggFunc{
+	"COUNT":  plan.AggCount,
+	"SUM":    plan.AggSum,
+	"AVG":    plan.AggAvg,
+	"MIN":    plan.AggMin,
+	"MAX":    plan.AggMax,
+	"STDDEV": plan.AggStddev,
+}
+
+// reserved words that terminate expressions / select lists.
+var reserved = map[string]bool{
+	"FROM": true, "WHERE": true, "GROUP": true, "ORDER": true,
+	"LIMIT": true, "AND": true, "OR": true, "NOT": true, "AS": true,
+	"BY": true, "ASC": true, "DESC": true, "SELECT": true,
+}
+
+func (p *parser) parseSelect() (*plan.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &plan.Query{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected table name, got %q", t.text)
+	}
+	q.From = t.text
+	if p.keyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected column in GROUP BY, got %q", t.text)
+			}
+			q.GroupBy = append(q.GroupBy, t.text)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected column in ORDER BY, got %q", t.text)
+			}
+			key := plan.OrderKey{Col: t.text}
+			if p.keyword("DESC") {
+				key.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	if p.keyword("SAMPLE") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected percentage after SAMPLE, got %q", t.text)
+		}
+		pct, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("sql: bad SAMPLE percentage %q", t.text)
+		}
+		q.SamplePct = pct
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (plan.SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToUpper(t.text)]; ok {
+			// Lookahead for '(' to distinguish an aggregate call from
+			// a column that happens to share the name.
+			if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+				p.next()
+				p.next() // '('
+				item := plan.SelectItem{Agg: agg}
+				if agg == plan.AggCount && p.symbol("*") {
+					// COUNT(*)
+				} else {
+					e, err := p.parseAdd()
+					if err != nil {
+						return plan.SelectItem{}, err
+					}
+					item.Expr = e
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return plan.SelectItem{}, err
+				}
+				item.Alias = p.parseAlias()
+				return item, nil
+			}
+		}
+	}
+	e, err := p.parseAdd()
+	if err != nil {
+		return plan.SelectItem{}, err
+	}
+	return plan.SelectItem{Expr: e, Alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.keyword("AS") {
+		t := p.next()
+		return t.text
+	}
+	return ""
+}
+
+// parseOr := parseAnd (OR parseAnd)*
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewOr(l, r)
+	}
+	return l, nil
+}
+
+// parseAnd := parseNot (AND parseNot)*
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewAnd(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(e), nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.EQ, "<>": expr.NE, "!=": expr.NE,
+	"<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	// A parenthesized boolean expression: lookahead by attempting a
+	// boolean parse when '(' starts a NOT/nested predicate. We detect
+	// it structurally: '(' followed by NOT, or a comparison that
+	// consumes an operator inside before ')'. The simple approach:
+	// try arithmetic first; if the next token is a comparison
+	// operator we finish the comparison, otherwise, if the expression
+	// was parenthesized and boolean-shaped, it came from parseOr.
+	if t := p.peek(); t.kind == tokSymbol && t.text == "(" {
+		// Could be a boolean group or an arithmetic group. Scan ahead
+		// to the matching ')' looking for AND/OR/NOT at depth 1.
+		if p.parenIsBoolean() {
+			p.next() // '('
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewCmp(op, l, r), nil
+		}
+	}
+	return nil, fmt.Errorf("sql: expected comparison operator, got %q", t.text)
+}
+
+// parenIsBoolean reports whether the parenthesized group starting at
+// the current '(' contains a boolean connective at depth 1, meaning it
+// must be parsed as a predicate rather than an arithmetic group.
+func (p *parser) parenIsBoolean() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.kind == tokSymbol {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth == 0 {
+					return false
+				}
+			}
+			if op := t.text; depth >= 1 {
+				if _, ok := cmpOps[op]; ok {
+					return true
+				}
+			}
+		}
+		if t.kind == tokIdent && depth >= 1 {
+			up := strings.ToUpper(t.text)
+			if up == "AND" || up == "OR" || up == "NOT" {
+				return true
+			}
+		}
+		if t.kind == tokEOF {
+			return false
+		}
+	}
+	return false
+}
+
+// parseAdd := parseMul ((+|-) parseMul)*
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			op := expr.Add
+			if t.text == "-" {
+				op = expr.Sub
+			}
+			l = expr.NewArith(op, l, r)
+			continue
+		}
+		return l, nil
+	}
+}
+
+// parseMul := parseAtom ((*|/) parseAtom)*
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			op := expr.Mul
+			if t.text == "/" {
+				op = expr.Div
+			}
+			l = expr.NewArith(op, l, r)
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAtom() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return expr.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return expr.Int(n), nil
+	case tokString:
+		p.next()
+		return expr.Str(t.text), nil
+	case tokIdent:
+		up := strings.ToUpper(t.text)
+		if up == "TRUE" || up == "FALSE" {
+			p.next()
+			return expr.Bool(up == "TRUE"), nil
+		}
+		if reserved[up] {
+			return nil, fmt.Errorf("sql: unexpected keyword %q", t.text)
+		}
+		p.next()
+		return expr.Col(t.text), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.next()
+			e, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := e.(*expr.Const); ok {
+				switch c.K {
+				case storage.KindInt64:
+					return expr.Int(-c.I), nil
+				case storage.KindFloat64:
+					return expr.Float(-c.F), nil
+				}
+			}
+			return expr.NewArith(expr.Sub, expr.Int(0), e), nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}

@@ -1,0 +1,269 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/plan"
+	"sommelier/internal/seismic"
+)
+
+// The paper's Query 1 (Figure 2).
+const query1SQL = `
+SELECT AVG(D.sample_value)
+FROM dataview
+WHERE F.station = 'ISK' AND F.channel = 'BHE'
+  AND D.sample_time > '2010-01-12T22:15:00.000'
+  AND D.sample_time < '2010-01-12T22:15:02.000';`
+
+// The paper's Query 2 (Figure 3).
+const query2SQL = `
+SELECT D.sample_time, D.sample_value
+FROM windowdataview
+WHERE F.station = 'FIAM'
+  AND F.channel = 'HHZ'
+  AND H.window_start_ts >= '2010-04-20T23:00:00.000'
+  AND H.window_start_ts < '2010-04-21T02:00:00.000'
+  AND H.window_max_val > 10000
+  AND H.window_std_dev > 10`
+
+func TestParseQuery1(t *testing.T) {
+	q, err := Parse(query1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Agg != plan.AggAvg {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if q.From != "dataview" {
+		t.Fatalf("from = %q", q.From)
+	}
+	if got := len(expr.Conjuncts(q.Where)); got != 4 {
+		t.Fatalf("conjuncts = %d", got)
+	}
+	// The plan must compile against the real catalog.
+	p, err := plan.Build(seismic.NewCatalog(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type() != 4 {
+		t.Fatalf("query 1 type = T%d", p.Type())
+	}
+}
+
+func TestParseQuery2(t *testing.T) {
+	q, err := Parse(query2SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0].Agg != plan.AggNone {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if got := len(expr.Conjuncts(q.Where)); got != 6 {
+		t.Fatalf("conjuncts = %d", got)
+	}
+	p, err := plan.Build(seismic.NewCatalog(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type() != 5 {
+		t.Fatalf("query 2 type = T%d", p.Type())
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse(`SELECT station, COUNT(*) AS n, MAX(sample_count) FROM S GROUP BY station`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[1].Agg != plan.AggCount || q.Select[1].Expr != nil || q.Select[1].Alias != "n" {
+		t.Fatalf("count item = %+v", q.Select[1])
+	}
+	if q.Select[2].Agg != plan.AggMax {
+		t.Fatalf("max item = %+v", q.Select[2])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "station" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	q, err := Parse(`SELECT uri FROM F ORDER BY station DESC, uri ASC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	q, err := Parse(`SELECT x FROM T WHERE (a = 1 OR b = 2) AND NOT c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(*expr.And)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if _, ok := and.L.(*expr.Or); !ok {
+		t.Fatalf("left = %T, want Or", and.L)
+	}
+	if _, ok := and.R.(*expr.Not); !ok {
+		t.Fatalf("right = %T, want Not", and.R)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	q, err := Parse(`SELECT a + b * 2 AS v FROM T WHERE (a + b) * 2 > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a + (b*2) by precedence.
+	ar, ok := q.Select[0].Expr.(*expr.Arith)
+	if !ok || ar.Op != expr.Add {
+		t.Fatalf("select expr = %v", q.Select[0].Expr)
+	}
+	if _, ok := ar.R.(*expr.Arith); !ok {
+		t.Fatal("precedence wrong")
+	}
+	cmp, ok := q.Where.(*expr.Cmp)
+	if !ok || cmp.Op != expr.GT {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if q.Select[0].Alias != "v" {
+		t.Fatal("alias lost")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q, err := Parse(`SELECT v FROM T WHERE a > -5 AND b < -2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj := expr.Conjuncts(q.Where)
+	c0 := cj[0].(*expr.Cmp).R.(*expr.Const)
+	if c0.I != -5 {
+		t.Fatalf("int literal = %+v", c0)
+	}
+	c1 := cj[1].(*expr.Cmp).R.(*expr.Const)
+	if c1.F != -2.5 {
+		t.Fatalf("float literal = %+v", c1)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select uri from F where station = 'ISK' order by uri limit 1`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM F",
+		"SELECT x F",
+		"SELECT x FROM",
+		"SELECT x FROM F WHERE",
+		"SELECT x FROM F WHERE a >",
+		"SELECT x FROM F WHERE a",
+		"SELECT x FROM F LIMIT x",
+		"SELECT x FROM F GROUP BY",
+		"SELECT x FROM F ORDER BY",
+		"SELECT x FROM F WHERE a = 'unterminated",
+		"SELECT x FROM F trailing",
+		"SELECT x FROM F WHERE a = 1 ??",
+		"SELECT COUNT( FROM F",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestParseAllCmpOps(t *testing.T) {
+	ops := map[string]expr.CmpOp{
+		"=": expr.EQ, "<>": expr.NE, "!=": expr.NE,
+		"<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+	}
+	for sym, want := range ops {
+		q, err := Parse("SELECT x FROM T WHERE a " + sym + " 1")
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		if got := q.Where.(*expr.Cmp).Op; got != want {
+			t.Errorf("%s parsed as %v", sym, got)
+		}
+	}
+}
+
+func TestParseSemicolonAndWhitespace(t *testing.T) {
+	q, err := Parse("  SELECT   x\n\tFROM\nT ;  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "T" {
+		t.Fatalf("from = %q", q.From)
+	}
+}
+
+func TestCountStarVsCountColumn(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*), COUNT(station) FROM F`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Expr != nil {
+		t.Fatal("COUNT(*) should have nil expr")
+	}
+	if q.Select[1].Expr == nil {
+		t.Fatal("COUNT(col) lost its argument")
+	}
+}
+
+func TestAggregateNameNotFunctionCall(t *testing.T) {
+	// A column merely named like an aggregate must not be treated as
+	// a call.
+	q, err := Parse(`SELECT min FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Agg != plan.AggNone {
+		t.Fatal("bare column 'min' parsed as aggregate")
+	}
+	if !strings.EqualFold(q.Select[0].Expr.(*expr.ColRef).Name, "min") {
+		t.Fatal("wrong column")
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	q, err := Parse(`SELECT AVG(sample_value) FROM dataview WHERE station = 'FIAM' LIMIT 10 SAMPLE 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SamplePct != 25 || q.Limit != 10 {
+		t.Fatalf("sample=%v limit=%d", q.SamplePct, q.Limit)
+	}
+	q2, err := Parse(`SELECT v FROM T SAMPLE 2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.SamplePct != 2.5 {
+		t.Fatalf("sample = %v", q2.SamplePct)
+	}
+	for _, bad := range []string{
+		"SELECT v FROM T SAMPLE",
+		"SELECT v FROM T SAMPLE x",
+		"SELECT v FROM T SAMPLE 0",
+		"SELECT v FROM T SAMPLE 101",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

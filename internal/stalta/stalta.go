@@ -1,0 +1,93 @@
+// Package stalta implements the classic short-term-average over
+// long-term-average event detector — the seismological analysis the
+// paper's §II-C motivates ("finding extreme values over Short Term
+// Averaging, typically over an interval of 2 seconds, and Long Term
+// Averaging, typically over an interval of 15 seconds"). It operates on
+// the (time, value) series that dataview queries return.
+package stalta
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ratio computes the STA/LTA ratio series over the absolute amplitude
+// of values, using trailing windows of sta and lta samples
+// (sta < lta). The first lta-1 positions carry no full long-term
+// window and are reported as zero.
+func Ratio(values []float64, sta, lta int) ([]float64, error) {
+	if sta <= 0 || lta <= sta {
+		return nil, fmt.Errorf("stalta: need 0 < sta < lta, got %d, %d", sta, lta)
+	}
+	out := make([]float64, len(values))
+	if len(values) < lta {
+		return out, nil
+	}
+	var staSum, ltaSum float64
+	abs := func(v float64) float64 { return math.Abs(v) }
+	for i, v := range values {
+		ltaSum += abs(v)
+		if i >= lta {
+			ltaSum -= abs(values[i-lta])
+		}
+		staSum += abs(v)
+		if i >= sta {
+			staSum -= abs(values[i-sta])
+		}
+		if i >= lta-1 {
+			den := ltaSum / float64(lta)
+			if den == 0 {
+				out[i] = 0
+				continue
+			}
+			out[i] = (staSum / float64(sta)) / den
+		}
+	}
+	return out, nil
+}
+
+// Event is one detected trigger interval.
+type Event struct {
+	// Start and End index the triggering span [Start, End) in the
+	// input series.
+	Start, End int
+	// Peak indexes the maximum ratio within the span.
+	Peak int
+	// MaxRatio is the ratio at Peak.
+	MaxRatio float64
+}
+
+// Detect runs the standard trigger/detrigger scheme over the STA/LTA
+// ratio: an event opens when the ratio exceeds trigger and closes when
+// it falls below detrigger (detrigger < trigger).
+func Detect(values []float64, sta, lta int, trigger, detrigger float64) ([]Event, error) {
+	if detrigger >= trigger {
+		return nil, fmt.Errorf("stalta: detrigger %v must be below trigger %v", detrigger, trigger)
+	}
+	ratio, err := Ratio(values, sta, lta)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	open := false
+	var cur Event
+	for i, r := range ratio {
+		switch {
+		case !open && r >= trigger:
+			open = true
+			cur = Event{Start: i, Peak: i, MaxRatio: r}
+		case open && r > cur.MaxRatio:
+			cur.Peak, cur.MaxRatio = i, r
+		}
+		if open && r < detrigger {
+			cur.End = i
+			events = append(events, cur)
+			open = false
+		}
+	}
+	if open {
+		cur.End = len(ratio)
+		events = append(events, cur)
+	}
+	return events, nil
+}

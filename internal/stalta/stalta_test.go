@@ -1,0 +1,134 @@
+package stalta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRatioValidation(t *testing.T) {
+	if _, err := Ratio(nil, 0, 10); err == nil {
+		t.Fatal("sta=0 accepted")
+	}
+	if _, err := Ratio(nil, 10, 10); err == nil {
+		t.Fatal("lta=sta accepted")
+	}
+}
+
+func TestRatioFlatSignal(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 5
+	}
+	r, err := Ratio(vals, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if r[i] != 0 {
+			t.Fatalf("warm-up position %d = %v", i, r[i])
+		}
+	}
+	for i := 16; i < 100; i++ {
+		if math.Abs(r[i]-1) > 1e-12 {
+			t.Fatalf("flat ratio at %d = %v", i, r[i])
+		}
+	}
+}
+
+func TestRatioShortSeries(t *testing.T) {
+	r, err := Ratio([]float64{1, 2}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r {
+		if v != 0 {
+			t.Fatal("short series should yield zeros")
+		}
+	}
+}
+
+func TestRatioZeroQuietPeriod(t *testing.T) {
+	vals := make([]float64, 40) // all zero: denominator 0
+	r, err := Ratio(vals, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r {
+		if v != 0 || math.IsNaN(v) {
+			if math.IsNaN(v) {
+				t.Fatal("NaN on silent signal")
+			}
+		}
+	}
+}
+
+func burstSignal() []float64 {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 1 // quiet background
+	}
+	for i := 100; i < 120; i++ {
+		vals[i] = 50 // burst
+	}
+	return vals
+}
+
+func TestDetectBurst(t *testing.T) {
+	events, err := Detect(burstSignal(), 4, 40, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[0]
+	if e.Start < 100 || e.Start > 110 {
+		t.Fatalf("start = %d", e.Start)
+	}
+	if e.MaxRatio < 3 {
+		t.Fatalf("max ratio = %v", e.MaxRatio)
+	}
+	if e.Peak < e.Start || e.Peak >= e.End {
+		t.Fatalf("peak %d outside [%d, %d)", e.Peak, e.Start, e.End)
+	}
+}
+
+func TestDetectOpenEventClosesAtEnd(t *testing.T) {
+	vals := make([]float64, 120)
+	for i := range vals {
+		vals[i] = 1
+	}
+	for i := 100; i < 120; i++ {
+		vals[i] = 50 // burst runs to the end of the series
+	}
+	events, err := Detect(vals, 4, 40, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].End != 120 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	if _, err := Detect(nil, 4, 40, 2, 2); err == nil {
+		t.Fatal("detrigger >= trigger accepted")
+	}
+	if _, err := Detect(nil, 0, 40, 3, 1); err == nil {
+		t.Fatal("bad windows accepted")
+	}
+}
+
+func TestDetectQuietSignalNoEvents(t *testing.T) {
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = float64(1 + i%3)
+	}
+	events, err := Detect(vals, 4, 40, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("phantom events: %+v", events)
+	}
+}

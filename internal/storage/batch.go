@@ -1,0 +1,134 @@
+package storage
+
+import "fmt"
+
+// BatchSize is the default number of rows exchanged between operators.
+const BatchSize = 4096
+
+// Batch is a set of equally long columns: the unit of data flow between
+// physical operators.
+type Batch struct {
+	Cols []Column
+}
+
+// NewBatch wraps columns into a batch, verifying equal lengths.
+func NewBatch(cols ...Column) *Batch {
+	b := &Batch{Cols: cols}
+	n := b.Len()
+	for _, c := range cols {
+		if c.Len() != n {
+			panic(fmt.Sprintf("storage: ragged batch: %d vs %d", c.Len(), n))
+		}
+	}
+	return b
+}
+
+// Len reports the number of rows, zero for an empty batch.
+func (b *Batch) Len() int {
+	if b == nil || len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Width reports the number of columns.
+func (b *Batch) Width() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Cols)
+}
+
+// Slice returns rows [lo, hi) of all columns, sharing storage.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	cols := make([]Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Batch{Cols: cols}
+}
+
+// Gather returns a new batch with the rows at idx, in order.
+func (b *Batch) Gather(idx []int32) *Batch {
+	cols := make([]Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Gather(idx)
+	}
+	return &Batch{Cols: cols}
+}
+
+// MemSize estimates the heap footprint of the batch in bytes.
+func (b *Batch) MemSize() int64 {
+	var n int64
+	for _, c := range b.Cols {
+		n += c.MemSize()
+	}
+	return n
+}
+
+// Relation is a fully materialized sequence of batches with a fixed
+// width; the in-memory representation of a table column set or an
+// operator result.
+type Relation struct {
+	batches []*Batch
+	rows    int
+}
+
+// NewRelation returns an empty relation.
+func NewRelation() *Relation { return &Relation{} }
+
+// Append adds a batch; empty batches are ignored.
+func (r *Relation) Append(b *Batch) {
+	if b.Len() == 0 {
+		return
+	}
+	if len(r.batches) > 0 && r.batches[0].Width() != b.Width() {
+		panic(fmt.Sprintf("storage: relation width mismatch: %d vs %d", r.batches[0].Width(), b.Width()))
+	}
+	r.batches = append(r.batches, b)
+	r.rows += b.Len()
+}
+
+// Batches returns the underlying batches. Callers must not modify them.
+func (r *Relation) Batches() []*Batch { return r.batches }
+
+// Rows reports the total number of rows.
+func (r *Relation) Rows() int { return r.rows }
+
+// MemSize estimates the heap footprint of all batches in bytes.
+func (r *Relation) MemSize() int64 {
+	var n int64
+	for _, b := range r.batches {
+		n += b.MemSize()
+	}
+	return n
+}
+
+// Flatten concatenates all batches into one. It is used where an
+// operator (hash join build, sort) needs random access to a whole input.
+func (r *Relation) Flatten() *Batch {
+	if len(r.batches) == 0 {
+		return &Batch{}
+	}
+	if len(r.batches) == 1 {
+		return r.batches[0]
+	}
+	width := r.batches[0].Width()
+	builders := make([]Builder, width)
+	for i := 0; i < width; i++ {
+		builders[i] = NewBuilder(r.batches[0].Cols[i].Kind(), r.rows)
+	}
+	for _, b := range r.batches {
+		for ci, c := range b.Cols {
+			n := c.Len()
+			for ri := 0; ri < n; ri++ {
+				builders[ci].AppendFrom(c, ri)
+			}
+		}
+	}
+	cols := make([]Column, width)
+	for i, bl := range builders {
+		cols[i] = bl.Finish()
+	}
+	return NewBatch(cols...)
+}

@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInts(n int) []int64 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int63n(1000)
+	}
+	return out
+}
+
+func BenchmarkGatherInt64(b *testing.B) {
+	c := NewInt64Column(benchInts(BatchSize))
+	idx := make([]int32, BatchSize/2)
+	for i := range idx {
+		idx[i] = int32(i * 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Gather(idx)
+	}
+}
+
+func BenchmarkStringDictionaryBuild(b *testing.B) {
+	stations := []string{"FIAM", "ISK", "AQU", "CERA"}
+	vals := make([]string, BatchSize)
+	for i := range vals {
+		vals[i] = stations[i%len(stations)]
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewStringColumn(vals)
+	}
+}
+
+func BenchmarkRelationFlatten(b *testing.B) {
+	r := NewRelation()
+	for i := 0; i < 16; i++ {
+		r.Append(NewBatch(NewInt64Column(benchInts(BatchSize))))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Flatten()
+	}
+}

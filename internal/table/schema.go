@@ -1,0 +1,96 @@
+// Package table defines schemas, tables and the catalog. Tables carry a
+// class — given metadata (GMd), derived metadata (DMd) or actual data
+// (AD) — because the partial-loading paradigm treats the classes
+// differently: metadata is loaded eagerly and always resident, actual
+// data lives in per-chunk column sets that are ingested lazily.
+package table
+
+import (
+	"fmt"
+
+	"sommelier/internal/storage"
+)
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Kind storage.Kind
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Cols []ColumnDef
+}
+
+// NewSchema builds a schema from definitions, rejecting duplicates.
+func NewSchema(cols ...ColumnDef) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("table: empty column name")
+		}
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return Schema{Cols: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known
+// schemas.
+func MustSchema(cols ...ColumnDef) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Width reports the number of columns.
+func (s Schema) Width() int { return len(s.Cols) }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// QualifiedNames returns the column names prefixed with qual and a dot.
+func (s Schema) QualifiedNames(qual string) []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = qual + "." + c.Name
+	}
+	return out
+}
+
+// Kinds returns the column kinds in order.
+func (s Schema) Kinds() []storage.Kind {
+	out := make([]storage.Kind, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Kind
+	}
+	return out
+}
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KindOf returns the kind of the named column; KindInvalid if absent.
+func (s Schema) KindOf(name string) storage.Kind {
+	if i := s.IndexOf(name); i >= 0 {
+		return s.Cols[i].Kind
+	}
+	return storage.KindInvalid
+}

@@ -1,0 +1,238 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sommelier/internal/storage"
+)
+
+// Class is the partial-loading class of a table.
+type Class uint8
+
+// Table classes: given metadata is eagerly loaded and small; derived
+// metadata is a partially materialized view; actual data is chunked and
+// lazily loaded.
+const (
+	GivenMetadata Class = iota
+	DerivedMetadata
+	ActualData
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case GivenMetadata:
+		return "GMd"
+	case DerivedMetadata:
+		return "DMd"
+	case ActualData:
+		return "AD"
+	default:
+		return "?"
+	}
+}
+
+// IsMetadata reports whether the class is given or derived metadata —
+// the "red" vertices of the paper's colored query graph.
+func (c Class) IsMetadata() bool { return c == GivenMetadata || c == DerivedMetadata }
+
+// Table is a named, classed relation. Metadata tables hold one resident
+// relation; actual-data tables hold one relation per ingested chunk,
+// keyed by chunk ID, so chunks can be ingested, processed in parallel
+// and evicted independently (the paper's "separate table per file").
+type Table struct {
+	Name       string
+	Class      Class
+	Schema     Schema
+	PrimaryKey []string
+	// ChunkKey names the column of an actual-data table that carries
+	// the owning chunk's ID (e.g. "file_id" in D). Empty for
+	// metadata tables.
+	ChunkKey string
+
+	mu     sync.RWMutex
+	data   *storage.Relation
+	pkSeen map[string]bool
+	chunks map[int64]*storage.Relation
+}
+
+// New creates an empty table. For ActualData tables chunkKey must name
+// a schema column.
+func New(name string, class Class, schema Schema, primaryKey []string, chunkKey string) (*Table, error) {
+	for _, pk := range primaryKey {
+		if schema.IndexOf(pk) < 0 {
+			return nil, fmt.Errorf("table %s: primary key column %q not in schema", name, pk)
+		}
+	}
+	if class == ActualData {
+		if chunkKey == "" || schema.IndexOf(chunkKey) < 0 {
+			return nil, fmt.Errorf("table %s: actual-data table needs a chunk key column, got %q", name, chunkKey)
+		}
+	} else if chunkKey != "" {
+		return nil, fmt.Errorf("table %s: chunk key on non actual-data table", name)
+	}
+	t := &Table{
+		Name:       name,
+		Class:      class,
+		Schema:     schema,
+		PrimaryKey: primaryKey,
+		ChunkKey:   chunkKey,
+		data:       storage.NewRelation(),
+		chunks:     make(map[int64]*storage.Relation),
+	}
+	if len(primaryKey) > 0 && class != ActualData {
+		t.pkSeen = make(map[string]bool)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, class Class, schema Schema, primaryKey []string, chunkKey string) *Table {
+	t, err := New(name, class, schema, primaryKey, chunkKey)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Append adds a batch to a metadata table, enforcing primary-key
+// uniqueness (the paper defines PKs under every loading variant).
+func (t *Table) Append(b *storage.Batch) error {
+	if t.Class == ActualData {
+		return fmt.Errorf("table %s: use AppendChunk for actual-data tables", t.Name)
+	}
+	if b.Width() != t.Schema.Width() {
+		return fmt.Errorf("table %s: batch width %d, schema width %d", t.Name, b.Width(), t.Schema.Width())
+	}
+	for i, c := range b.Cols {
+		if c.Kind() != t.Schema.Cols[i].Kind {
+			return fmt.Errorf("table %s: column %d kind %v, want %v", t.Name, i, c.Kind(), t.Schema.Cols[i].Kind)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pkSeen != nil {
+		pkIdx := make([]int, len(t.PrimaryKey))
+		for i, pk := range t.PrimaryKey {
+			pkIdx[i] = t.Schema.IndexOf(pk)
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			key := ""
+			for _, ci := range pkIdx {
+				key += fmt.Sprintf("%v|", storage.ValueAt(b.Cols[ci], r))
+			}
+			if t.pkSeen[key] {
+				return fmt.Errorf("table %s: primary key violation: %s", t.Name, key)
+			}
+			t.pkSeen[key] = true
+		}
+	}
+	t.data.Append(b)
+	return nil
+}
+
+// Data returns the resident relation of a metadata table.
+func (t *Table) Data() *storage.Relation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.data
+}
+
+// Rows reports the number of resident rows (all chunks for AD tables).
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.Class == ActualData {
+		n := 0
+		for _, r := range t.chunks {
+			n += r.Rows()
+		}
+		return n
+	}
+	return t.data.Rows()
+}
+
+// MemSize estimates resident bytes.
+func (t *Table) MemSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.Class == ActualData {
+		var n int64
+		for _, r := range t.chunks {
+			n += r.MemSize()
+		}
+		return n
+	}
+	return t.data.MemSize()
+}
+
+// AppendChunk installs (or replaces) the relation of one chunk of an
+// actual-data table.
+func (t *Table) AppendChunk(chunkID int64, rel *storage.Relation) error {
+	if t.Class != ActualData {
+		return fmt.Errorf("table %s: AppendChunk on %v table", t.Name, t.Class)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chunks[chunkID] = rel
+	return nil
+}
+
+// Chunk returns the relation of one chunk and whether it is resident.
+func (t *Table) Chunk(chunkID int64) (*storage.Relation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.chunks[chunkID]
+	return r, ok
+}
+
+// DropChunk evicts one chunk's data, returning the bytes freed.
+func (t *Table) DropChunk(chunkID int64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.chunks[chunkID]
+	if !ok {
+		return 0
+	}
+	delete(t.chunks, chunkID)
+	return r.MemSize()
+}
+
+// ChunkIDs returns the resident chunk IDs in ascending order.
+func (t *Table) ChunkIDs() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]int64, 0, len(t.chunks))
+	for id := range t.chunks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AllChunks returns every resident chunk relation in chunk-ID order.
+func (t *Table) AllChunks() []*storage.Relation {
+	ids := t.ChunkIDs()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*storage.Relation, len(ids))
+	for i, id := range ids {
+		out[i] = t.chunks[id]
+	}
+	return out
+}
+
+// Truncate discards all resident data (used by the loaders between
+// experiments).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.data = storage.NewRelation()
+	t.chunks = make(map[int64]*storage.Relation)
+	if t.pkSeen != nil {
+		t.pkSeen = make(map[string]bool)
+	}
+}

@@ -1,0 +1,255 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"sommelier/internal/storage"
+)
+
+func fileSchema() Schema {
+	return MustSchema(
+		ColumnDef{"file_id", storage.KindInt64},
+		ColumnDef{"uri", storage.KindString},
+		ColumnDef{"station", storage.KindString},
+		ColumnDef{"channel", storage.KindString},
+	)
+}
+
+func dataSchema() Schema {
+	return MustSchema(
+		ColumnDef{"file_id", storage.KindInt64},
+		ColumnDef{"sample_time", storage.KindTime},
+		ColumnDef{"sample_value", storage.KindFloat64},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := fileSchema()
+	if s.Width() != 4 {
+		t.Fatalf("width = %d", s.Width())
+	}
+	if s.IndexOf("station") != 2 || s.IndexOf("missing") != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if s.KindOf("uri") != storage.KindString || s.KindOf("nope") != storage.KindInvalid {
+		t.Fatal("KindOf wrong")
+	}
+	q := s.QualifiedNames("F")
+	if q[0] != "F.file_id" || q[3] != "F.channel" {
+		t.Fatalf("qualified = %v", q)
+	}
+	if _, err := NewSchema(ColumnDef{"a", storage.KindInt64}, ColumnDef{"a", storage.KindInt64}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema(ColumnDef{"", storage.KindInt64}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := New("F", GivenMetadata, fileSchema(), []string{"nope"}, ""); err == nil {
+		t.Fatal("bad PK accepted")
+	}
+	if _, err := New("D", ActualData, dataSchema(), nil, ""); err == nil {
+		t.Fatal("AD table without chunk key accepted")
+	}
+	if _, err := New("D", ActualData, dataSchema(), nil, "absent"); err == nil {
+		t.Fatal("AD table with unknown chunk key accepted")
+	}
+	if _, err := New("F", GivenMetadata, fileSchema(), nil, "file_id"); err == nil {
+		t.Fatal("chunk key on metadata table accepted")
+	}
+}
+
+func mdBatch(ids []int64, uris, stations, channels []string) *storage.Batch {
+	return storage.NewBatch(
+		storage.NewInt64Column(ids),
+		storage.NewStringColumn(uris),
+		storage.NewStringColumn(stations),
+		storage.NewStringColumn(channels),
+	)
+}
+
+func TestAppendAndPKEnforcement(t *testing.T) {
+	f := MustNew("F", GivenMetadata, fileSchema(), []string{"file_id"}, "")
+	if err := f.Append(mdBatch([]int64{1, 2}, []string{"a", "b"}, []string{"ISK", "ISK"}, []string{"BHE", "BHN"})); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 2 {
+		t.Fatalf("rows = %d", f.Rows())
+	}
+	err := f.Append(mdBatch([]int64{2}, []string{"c"}, []string{"X"}, []string{"Y"}))
+	if err == nil || !strings.Contains(err.Error(), "primary key violation") {
+		t.Fatalf("dup PK error = %v", err)
+	}
+	// Width mismatch.
+	if err := f.Append(storage.NewBatch(storage.NewInt64Column([]int64{9}))); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Kind mismatch.
+	bad := storage.NewBatch(
+		storage.NewFloat64Column([]float64{1}),
+		storage.NewStringColumn([]string{"u"}),
+		storage.NewStringColumn([]string{"s"}),
+		storage.NewStringColumn([]string{"c"}),
+	)
+	if err := f.Append(bad); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestChunkLifecycle(t *testing.T) {
+	d := MustNew("D", ActualData, dataSchema(), nil, "file_id")
+	if err := d.Append(&storage.Batch{}); err == nil {
+		t.Fatal("Append on AD table should fail")
+	}
+	mk := func(fid int64, n int) *storage.Relation {
+		r := storage.NewRelation()
+		ids := make([]int64, n)
+		ts := make([]int64, n)
+		vs := make([]float64, n)
+		for i := range ids {
+			ids[i] = fid
+			ts[i] = int64(i)
+			vs[i] = float64(i)
+		}
+		r.Append(storage.NewBatch(storage.NewInt64Column(ids), storage.NewTimeColumn(ts), storage.NewFloat64Column(vs)))
+		return r
+	}
+	if err := d.AppendChunk(7, mk(7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendChunk(3, mk(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 15 {
+		t.Fatalf("rows = %d", d.Rows())
+	}
+	if ids := d.ChunkIDs(); len(ids) != 2 || ids[0] != 3 || ids[1] != 7 {
+		t.Fatalf("chunk ids = %v", ids)
+	}
+	if _, ok := d.Chunk(3); !ok {
+		t.Fatal("chunk 3 missing")
+	}
+	if _, ok := d.Chunk(99); ok {
+		t.Fatal("phantom chunk")
+	}
+	if len(d.AllChunks()) != 2 {
+		t.Fatal("AllChunks wrong")
+	}
+	freed := d.DropChunk(3)
+	if freed <= 0 {
+		t.Fatalf("freed = %d", freed)
+	}
+	if d.DropChunk(3) != 0 {
+		t.Fatal("double drop freed bytes")
+	}
+	if d.Rows() != 10 {
+		t.Fatalf("rows after drop = %d", d.Rows())
+	}
+	if d.MemSize() <= 0 {
+		t.Fatal("memsize should be positive")
+	}
+	d.Truncate()
+	if d.Rows() != 0 {
+		t.Fatal("truncate left rows")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	f := MustNew("F", GivenMetadata, fileSchema(), []string{"file_id"}, "")
+	d := MustNew("D", ActualData, dataSchema(), nil, "file_id")
+	if err := c.AddTable(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(f); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if got, ok := c.Table("F"); !ok || got != f {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := c.Table("Z"); ok {
+		t.Fatal("phantom table")
+	}
+	if n := len(c.Tables()); n != 2 {
+		t.Fatalf("tables = %d", n)
+	}
+	v := &View{Name: "dataview", Tables: []string{"F", "D"}, Joins: []JoinPred{{"F.file_id", "D.file_id"}}}
+	if err := c.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddView(v); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if err := c.AddView(&View{Name: "bad1", Tables: []string{"Z"}}); err == nil {
+		t.Fatal("view over unknown table accepted")
+	}
+	if err := c.AddView(&View{Name: "bad2", Tables: []string{"F"}, Joins: []JoinPred{{"F.nope", "D.file_id"}}}); err == nil {
+		t.Fatal("view with unknown join column accepted")
+	}
+	if err := c.AddView(&View{Name: "bad3", Tables: []string{"F"}, Joins: []JoinPred{{"unqualified", "D.file_id"}}}); err == nil {
+		t.Fatal("view with unqualified join column accepted")
+	}
+	if err := c.AddView(&View{Name: "F", Tables: []string{"F"}}); err == nil {
+		t.Fatal("view colliding with table accepted")
+	}
+	if got, ok := c.View("dataview"); !ok || got.Name != "dataview" {
+		t.Fatal("view lookup failed")
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	c := NewCatalog()
+	f := MustNew("F", GivenMetadata, fileSchema(), []string{"file_id"}, "")
+	d := MustNew("D", ActualData, dataSchema(), nil, "file_id")
+	if err := c.AddTable(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(d); err != nil {
+		t.Fatal(err)
+	}
+	fk := ForeignKey{Table: "D", Column: "file_id", RefTable: "F", RefColumn: "file_id"}
+	if err := c.AddForeignKey(fk); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ForeignKeys(); len(got) != 1 || got[0] != fk {
+		t.Fatalf("fks = %v", got)
+	}
+	bad := []ForeignKey{
+		{Table: "Z", Column: "x", RefTable: "F", RefColumn: "file_id"},
+		{Table: "D", Column: "nope", RefTable: "F", RefColumn: "file_id"},
+		{Table: "D", Column: "file_id", RefTable: "Z", RefColumn: "x"},
+		{Table: "D", Column: "file_id", RefTable: "F", RefColumn: "nope"},
+	}
+	for i, fk := range bad {
+		if err := c.AddForeignKey(fk); err == nil {
+			t.Errorf("bad FK %d accepted", i)
+		}
+	}
+}
+
+func TestSplitQualified(t *testing.T) {
+	tab, col, err := SplitQualified("F.station")
+	if err != nil || tab != "F" || col != "station" {
+		t.Fatalf("split = %q %q %v", tab, col, err)
+	}
+	for _, bad := range []string{"noqual", ".x", "x.", ""} {
+		if _, _, err := SplitQualified(bad); err == nil {
+			t.Errorf("SplitQualified(%q) should fail", bad)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !GivenMetadata.IsMetadata() || !DerivedMetadata.IsMetadata() || ActualData.IsMetadata() {
+		t.Fatal("IsMetadata wrong")
+	}
+	if GivenMetadata.String() != "GMd" || DerivedMetadata.String() != "DMd" || ActualData.String() != "AD" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package sommelier
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := DefaultRepoConfig(2)
+	cfg.SamplesPerFile = 400
+	cfg.MeanSegments = 3
+	if err := GenerateRepository(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenAndQuery(t *testing.T) {
+	db, err := Open(testRepo(t), Config{Approach: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT station, COUNT(*) AS files FROM F GROUP BY station ORDER BY station`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 4 {
+		t.Fatalf("stations = %d", res.Rows())
+	}
+	out := FormatResult(res)
+	if !strings.Contains(out, "files") || !strings.Contains(out, "(4 rows)") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestAllApproachConstants(t *testing.T) {
+	for _, app := range []Approach{Lazy, EagerCSV, EagerPlain, EagerIndex, EagerDMd} {
+		db, err := Open(testRepo(t), Config{Approach: app})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if db.Approach() != app {
+			t.Fatalf("approach = %s", db.Approach())
+		}
+	}
+}
+
+func TestFormatResultTypes(t *testing.T) {
+	db, err := Open(testRepo(t), Config{Approach: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT file_id, uri, station FROM F ORDER BY file_id LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatResult(res)
+	if !strings.Contains(out, "(2 rows)") {
+		t.Fatalf("format:\n%s", out)
+	}
+	// Timestamps render ISO-style.
+	res2, err := db.Query(`SELECT start_time FROM S ORDER BY start_time LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(FormatResult(res2), "2010-01-01T") {
+		t.Fatalf("timestamp format:\n%s", FormatResult(res2))
+	}
+}
+
+func TestGenerateRepositoryValidation(t *testing.T) {
+	cfg := DefaultRepoConfig(0) // invalid: zero days
+	if err := GenerateRepository(t.TempDir(), cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := Open(t.TempDir(), Config{}); err == nil {
+		t.Fatal("empty repository accepted")
+	}
+}
+
+func TestOpenHTTP(t *testing.T) {
+	dir := testRepo(t)
+	if err := WriteHTTPIndex(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.FileServer(http.Dir(dir)))
+	defer srv.Close()
+	db, err := OpenHTTP(srv.URL, Config{Approach: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A selective query lazily ingests chunks over HTTP.
+	res, err := db.Query(`
+		SELECT AVG(D.sample_value) FROM dataview
+		WHERE F.station = 'ISK'
+		  AND D.sample_time >= '2010-01-01T00:00:00.000'
+		  AND D.sample_time < '2010-01-02T00:00:00.000'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ChunksLoaded == 0 {
+		t.Fatal("no chunks streamed over HTTP")
+	}
+	// The same answer as the local database.
+	local, err := Open(dir, Config{Approach: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Query(`
+		SELECT AVG(D.sample_value) FROM dataview
+		WHERE F.station = 'ISK'
+		  AND D.sample_time >= '2010-01-01T00:00:00.000'
+		  AND D.sample_time < '2010-01-02T00:00:00.000'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatResult(res) != FormatResult(want) {
+		t.Fatalf("HTTP answer differs:\n%s\nvs\n%s", FormatResult(res), FormatResult(want))
+	}
+}
+
+func TestDetectEvents(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultRepoConfig(1)
+	cfg.SamplesPerFile = 3000
+	cfg.EventRate = 1 // guarantee bursts
+	if err := GenerateRepository(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, Config{Approach: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+		SELECT D.sample_time, D.sample_value FROM dataview
+		WHERE F.station = 'FIAM' ORDER BY D.sample_time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := DetectEvents(res, 20, 200, 2.5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events detected in burst-heavy data")
+	}
+	// A result without numeric columns is rejected.
+	res2, err := db.Query(`SELECT station FROM F`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectEvents(res2, 20, 200, 2.5, 1.2); err == nil {
+		t.Fatal("string-only result accepted")
+	}
+}
