@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt vet test build bench
+
+## ci is the documented pre-merge check: formatting, vet, and the full
+## test suite under the race detector (the concurrency guarantees of
+## engine.DB and sommelierd are enforced by -race tests).
+ci: fmt vet test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+## bench regenerates the paper's evaluation tables plus the
+## concurrent-load sweep (slow; see also cmd/benchrunner).
+bench:
+	$(GO) test -bench=. -benchmem .

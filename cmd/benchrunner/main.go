@@ -7,7 +7,7 @@
 //	benchrunner -exp fig7 -basedays 8 -samples 4000
 //
 // Experiments: tableII, tableIII, fig6, fig7, fig8, fig9, ablations,
-// all.
+// concurrency, all.
 package main
 
 import (
@@ -103,6 +103,14 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.RenderFig9(rows))
+		return nil
+	})
+	run("concurrency", func() error {
+		rows, err := experiments.ConcurrentLoad(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderConcurrency(rows))
 		return nil
 	})
 	run("ablations", func() error {

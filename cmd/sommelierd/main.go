@@ -1,0 +1,144 @@
+// Command sommelierd serves SQL queries over a registered chunk
+// repository as an HTTP JSON API — the system as a service rather than
+// a library. A bounded worker pool executes queries concurrently on one
+// shared engine.DB (safe by the engine's concurrency guarantees), each
+// request carries a context deadline, and SIGINT/SIGTERM trigger a
+// graceful drain.
+//
+// Usage:
+//
+//	sommelierd -dir repo -approach lazy -addr :8707 -workers 8
+//	sommelierd -gen-days 2          # demo mode: synthetic temp repo
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ...", "timeout_ms": 5000}
+//	GET  /stats    server, cache and engine counters
+//	GET  /healthz  liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sommelier/internal/cache"
+	"sommelier/internal/engine"
+	"sommelier/internal/registrar"
+	"sommelier/internal/seisgen"
+	"sommelier/internal/seismic"
+	"sommelier/internal/server"
+	"sommelier/internal/table"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8707", "listen address")
+		dir         = flag.String("dir", "", "repository directory (empty: generate a synthetic demo repo)")
+		approach    = flag.String("approach", "lazy", "loading approach: lazy, eager_csv, eager_plain, eager_index, eager_dmd")
+		workers     = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "queued query bound before 503 (0 = 4x workers)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
+		cachePolicy = flag.String("cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
+		maxLoad     = flag.Int("max-parallel-load", 0, "parallel chunk ingestion bound per query (0 = all cores)")
+		genDays     = flag.Int("gen-days", 2, "days of synthetic data when generating a demo repo")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *approach, *workers, *queue, *timeout, *maxTimeout,
+		*cacheBytes, *cachePolicy, *maxLoad, *genDays); err != nil {
+		log.Fatalf("sommelierd: %v", err)
+	}
+}
+
+func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout time.Duration,
+	cacheBytes int64, cachePolicy string, maxLoad, genDays int) error {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "sommelierd-demo-")
+		if err != nil {
+			return err
+		}
+		log.Printf("no -dir given: generating %d-day synthetic repository under %s", genDays, d)
+		if _, err := seisgen.Generate(d, seisgen.DefaultConfig(genDays)); err != nil {
+			return err
+		}
+		dir = d
+	}
+	var policy cache.Policy
+	switch cachePolicy {
+	case "lru":
+		policy = cache.LRU
+	case "cost-aware":
+		policy = cache.CostAware
+	default:
+		return fmt.Errorf("unknown -cache-policy %q", cachePolicy)
+	}
+
+	t0 := time.Now()
+	db, err := engine.Open(dir, engine.Config{
+		Approach:        registrar.Approach(approach),
+		CacheBytes:      cacheBytes,
+		CachePolicy:     policy,
+		MaxParallelLoad: maxLoad,
+	})
+	if err != nil {
+		return err
+	}
+	// Register the metadata-only window view so T3 queries work out of
+	// the box (the same view the evaluation suite uses).
+	err = db.Catalog().AddView(&table.View{
+		Name:   "windowdataview_md",
+		Tables: []string{seismic.TableF, seismic.TableH},
+		Joins: []table.JoinPred{
+			{Left: "F.station", Right: "H.window_station"},
+			{Left: "F.channel", Right: "H.window_channel"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rep := db.Report()
+	log.Printf("registered %s (%s): %d files, %d segments in %v",
+		dir, approach, rep.Files, rep.Segments, time.Since(t0).Round(time.Millisecond))
+
+	svc := server.New(db, server.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (POST /query, GET /stats, GET /healthz)", addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight queries")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	svc.Close()
+	log.Printf("bye")
+	return nil
+}

@@ -1,0 +1,3 @@
+module sommelier
+
+go 1.24

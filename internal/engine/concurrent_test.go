@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"sommelier/internal/registrar"
+)
+
+// stressQueries is a mixed workload: a point lookup (one hour of one
+// station), range scans over actual data, metadata aggregates and
+// DMd-backed queries — the taxonomy under concurrent fire.
+func stressQueries() []string {
+	q := tQueries()
+	return []string{
+		q[1], q[2], q[3], q[4], q[5],
+		// Point-ish: a single two-hour slice of one station.
+		`SELECT AVG(D.sample_value) FROM dataview
+		   WHERE F.station = 'ISK' AND F.channel = 'BHE'
+		     AND D.sample_time >= '2010-01-01T06:00:00.000'
+		     AND D.sample_time < '2010-01-01T08:00:00.000'`,
+		// Range over a second station, exercising disjoint chunk sets.
+		`SELECT COUNT(*) AS n, MAX(D.sample_value) AS mx FROM dataview
+		   WHERE F.station = 'CERA'
+		     AND D.sample_time >= '2010-01-01T00:00:00.000'
+		     AND D.sample_time < '2010-01-02T00:00:00.000'`,
+	}
+}
+
+// sortedRows renders a result with row order normalized: concurrent
+// derivation may grow H in a different order than serial execution
+// grew it, which legitimately permutes unordered results.
+func sortedRows(res *Result) string {
+	lines := strings.Split(strings.TrimRight(renderRows(res), "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestConcurrentStressAllApproaches runs N goroutines of the mixed
+// workload against one DB per loading approach (plus a lazy variant
+// with a deliberately tiny recycler, so admissions evict chunks other
+// in-flight queries are scanning) and asserts every answer is identical
+// to serial execution. Run with -race to verify the engine's
+// concurrency guarantees.
+func TestConcurrentStressAllApproaches(t *testing.T) {
+	const goroutines, rounds = 8, 2
+	dir := genRepo(t, 2)
+	queries := stressQueries()
+
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	variants := []variant{
+		{"lazy-small-cache", Config{Approach: registrar.Lazy, CacheBytes: 64 << 10}},
+	}
+	for _, app := range registrar.Approaches() {
+		variants = append(variants, variant{string(app), Config{Approach: app}})
+	}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			// Serial baseline on a fresh DB.
+			serial, err := Open(dir, v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := addMetadataView(serial); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]string, len(queries))
+			for i, sql := range queries {
+				res, err := serial.Query(sql)
+				if err != nil {
+					t.Fatalf("serial query %d: %v", i, err)
+				}
+				want[i] = sortedRows(res)
+			}
+
+			// Concurrent replay on another fresh DB.
+			db, err := Open(dir, v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := addMetadataView(db); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for off := range queries {
+							i := (g + off) % len(queries) // rotate start per goroutine
+							res, err := db.QueryContext(context.Background(), queries[i])
+							if err != nil {
+								t.Errorf("goroutine %d query %d: %v", g, i, err)
+								return
+							}
+							if got := sortedRows(res); got != want[i] {
+								t.Errorf("goroutine %d query %d diverged from serial:\n%s\nvs\n%s", g, i, got, want[i])
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

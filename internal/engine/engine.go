@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"sommelier/internal/cache"
@@ -41,6 +42,14 @@ type Config struct {
 const DefaultCacheBytes = 4 << 30
 
 // DB is an open database over one registered repository.
+//
+// A DB is safe for concurrent use: any number of goroutines may call
+// Query/QueryContext/Run simultaneously. The executor deduplicates
+// concurrent loads of the same missing chunk, pins every chunk a query
+// scans so another query's cache eviction cannot yank it mid-scan, and
+// serializes derived-metadata maintenance (Algorithm 1) behind the DMd
+// manager's lock. Two concurrent queries therefore return exactly what
+// they would have returned when run serially.
 type DB struct {
 	cat      *table.Catalog
 	repo     registrar.ChunkSource
@@ -48,6 +57,8 @@ type DB struct {
 	recycler *cache.Recycler
 	dmd      *dmd.Manager
 	indexes  *registrar.Indexes
+
+	reportMu sync.Mutex
 	report   registrar.Report
 }
 
@@ -212,6 +223,8 @@ func (db *DB) fillSizes() {
 	sT, _ := db.cat.Table(seismic.TableS)
 	dT, _ := db.cat.Table(seismic.TableD)
 	hT, _ := db.cat.Table(seismic.TableH)
+	db.reportMu.Lock()
+	defer db.reportMu.Unlock()
 	db.report.MetadataBytes = fT.MemSize() + sT.MemSize()
 	db.report.DataBytes = dT.MemSize() + hT.MemSize()
 	db.report.IndexBytes = db.indexes.MemSize()
@@ -276,6 +289,8 @@ func (db *DB) Catalog() *table.Catalog { return db.cat }
 // Report returns the registration report (loading costs and sizes).
 func (db *DB) Report() registrar.Report {
 	db.fillSizes() // sizes may have grown (lazy ingestion, DMd)
+	db.reportMu.Lock()
+	defer db.reportMu.Unlock()
 	return db.report
 }
 

@@ -67,7 +67,12 @@ type MetaIndex struct {
 	Data *storage.Batch
 }
 
-// Env is the execution environment of one database instance.
+// Env is the execution environment of one database instance. One Env
+// may serve any number of concurrent ExecuteContext calls: the chunk
+// residency protocol (pin before scan, reference-counted release) and
+// the flight group (one load per missing chunk, however many queries
+// select it) make the lazy ingestion path race-free. An Env must not be
+// copied after first use.
 type Env struct {
 	Catalog *table.Catalog
 	Mode    Mode
@@ -84,6 +89,11 @@ type Env struct {
 	// GOMAXPROCS. 1 gives serial loading (the parallelization
 	// ablation).
 	MaxParallel int
+
+	// flights deduplicates concurrent ingestions of the same missing
+	// chunk across every query executing in this environment, keyed by
+	// (table, chunkID).
+	flights flightGroup
 }
 
 // Stats reports what one query execution did.
@@ -185,11 +195,18 @@ type executor struct {
 
 	// selected chunk IDs per actual-data table, from stage one.
 	selected map[string][]int64
-	// loaded chunks are pinned for the duration of the query and
-	// offered to the recycler only after stage two, so that an
+	// pinned holds every chunk this query holds a table pin on — cache
+	// hits and fresh loads alike — released after stage two.
+	pinned []pinnedChunk
+	// loaded chunks were ingested by this query (it led their flight)
+	// and are offered to the recycler only after stage two, so that an
 	// admission cannot evict a chunk the in-flight query still needs.
 	loaded []loadedChunk
 
+	// stats and trace are confined to the query's own goroutine: the
+	// ingestion workers communicate through the per-chunk results slice
+	// joined before any counter is updated, so accumulation is
+	// race-free even with many concurrent queries per Env.
 	stats Stats
 }
 
@@ -200,10 +217,19 @@ type loadedChunk struct {
 	cost      time.Duration
 }
 
+type pinnedChunk struct {
+	tableName string
+	id        int64
+}
+
 func (ex *executor) run() (*Result, error) {
 	if ex.ctx == nil {
 		ex.ctx = context.Background()
 	}
+	// However the query ends, offer its loads to the recyclers and
+	// release every pin (the deferred release also covers error paths,
+	// which must not leak pins).
+	defer ex.release()
 	ex.stats.SampleFraction = 1
 	needStage1 := ex.plan.Qf != nil && ex.plan.TwoStage && ex.env.Mode != ModeEagerFull
 	if needStage1 {
@@ -256,7 +282,6 @@ func (ex *executor) run() (*Result, error) {
 		return nil, err
 	}
 	rel, err := ex.drain(op)
-	ex.finalizeCache()
 	if err != nil {
 		return nil, fmt.Errorf("exec: stage two: %w", err)
 	}
@@ -378,10 +403,12 @@ func chunkHash(id int64) uint64 {
 	return x
 }
 
-// ingestSelected loads the missing selected chunks through the chunk
-// loader, in parallel over chunks (the paper's static parallelization:
-// the degree of parallelism is the number of selected chunks, bounded
-// by the configured maximum).
+// ingestSelected makes every selected chunk resident and pinned for
+// this query. Resident chunks are pinned on the spot; missing chunks
+// are loaded in parallel (the paper's static parallelization: the
+// degree of parallelism is the number of selected chunks, bounded by
+// the configured maximum), with concurrent queries selecting the same
+// chunk sharing one load through the environment's flight group.
 func (ex *executor) ingestSelected() error {
 	if ex.env.Loader == nil {
 		return fmt.Errorf("exec: lazy mode requires a chunk loader")
@@ -391,13 +418,16 @@ func (ex *executor) ingestSelected() error {
 		rec := ex.env.Recyclers[tn]
 		var missing []int64
 		for _, id := range ex.selected[tn] {
-			resident := false
+			// The pin is the authoritative residency test: a recycler
+			// Contains answer can go stale before stage two, a pin
+			// holds the chunk down. The recycler is still consulted for
+			// its hit/miss accounting and LRU recency.
+			resident := t.Pin(id)
 			if rec != nil {
-				resident = rec.Contains(id)
-			} else {
-				_, resident = t.Chunk(id)
+				rec.Contains(id)
 			}
 			if resident {
+				ex.pinned = append(ex.pinned, pinnedChunk{tableName: tn, id: id})
 				ex.stats.CacheHits++
 			} else {
 				missing = append(missing, id)
@@ -413,13 +443,7 @@ func (ex *executor) ingestSelected() error {
 		if par > len(missing) {
 			par = len(missing)
 		}
-		type loaded struct {
-			id   int64
-			rel  *storage.Relation
-			cost time.Duration
-			err  error
-		}
-		results := make([]loaded, len(missing))
+		results := make([]chunkResult, len(missing))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, par)
 		for i, id := range missing {
@@ -428,37 +452,111 @@ func (ex *executor) ingestSelected() error {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				if err := ex.ctx.Err(); err != nil {
-					results[i] = loaded{id: id, err: err}
-					return
-				}
-				t0 := time.Now()
-				rel, err := ex.env.Loader.LoadChunk(tn, id)
-				results[i] = loaded{id: id, rel: rel, cost: time.Since(t0), err: err}
+				results[i] = ex.acquireChunk(t, tn, id)
 			}(i, id)
 		}
 		wg.Wait()
+		// Record every pin the workers took before failing the query,
+		// so the deferred release sees them all.
+		var firstErr error
 		for _, r := range results {
 			if r.err != nil {
-				return fmt.Errorf("exec: chunk-access(%s, %d): %w", tn, r.id, r.err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("exec: chunk-access(%s, %d): %w", tn, r.id, r.err)
+				}
+				continue
 			}
-			if err := t.AppendChunk(r.id, r.rel); err != nil {
-				return err
+			ex.pinned = append(ex.pinned, pinnedChunk{tableName: tn, id: r.id})
+			if r.loadedByMe {
+				ex.stats.ChunksLoaded++
+				ex.stats.RowsLoaded += r.rows
+				ex.loaded = append(ex.loaded, loadedChunk{
+					tableName: tn, id: r.id, bytes: r.bytes, cost: r.cost,
+				})
+			} else {
+				// Another query's flight delivered the chunk: count a
+				// cache hit here so that, across concurrent queries,
+				// ChunksLoaded/RowsLoaded sum to the true ingestion
+				// volume — each chunk is loaded and counted exactly
+				// once, by its flight leader.
+				ex.stats.CacheHits++
 			}
-			ex.stats.ChunksLoaded++
-			ex.stats.RowsLoaded += int64(r.rel.Rows())
-			ex.loaded = append(ex.loaded, loadedChunk{
-				tableName: tn, id: r.id, bytes: r.rel.MemSize(), cost: r.cost,
-			})
+		}
+		if firstErr != nil {
+			return firstErr
 		}
 	}
 	return nil
 }
 
-// finalizeCache offers the chunks loaded by this query to the
-// recyclers; refused chunks are dropped immediately (transient load).
-// Admission may evict other chunks via the recycler's callback.
-func (ex *executor) finalizeCache() {
+// chunkResult is the outcome of acquireChunk for one missing chunk. On
+// success the chunk is resident and pinned for this query; loadedByMe
+// marks that this query led the flight that ingested it.
+type chunkResult struct {
+	id         int64
+	loadedByMe bool
+	rows       int64
+	bytes      int64
+	cost       time.Duration
+	err        error
+}
+
+// acquireChunk makes one chunk resident and pinned, deduplicating the
+// load with concurrent queries. The flight leader pins inside the
+// flight (atomically with the append, before any other query can
+// admit-and-evict it); waiters re-try the pin when they wake, falling
+// back to a fresh flight in the rare case the leader's query already
+// released a transient (refused-by-the-recycler) chunk.
+func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResult {
+	for {
+		if err := ex.ctx.Err(); err != nil {
+			return chunkResult{id: id, err: err}
+		}
+		if t.Pin(id) {
+			return chunkResult{id: id}
+		}
+		res, leader, err := ex.env.flights.do(ex.ctx, flightKey{table: tn, id: id}, func() (flightResult, error) {
+			// The chunk may have become resident between our failed
+			// pin and this flight opening (another query's flight just
+			// closed): re-check under the flight so we never re-load —
+			// and never AppendChunk-replace — a live chunk.
+			if t.Pin(id) {
+				return flightResult{hit: true}, nil
+			}
+			t0 := time.Now()
+			rel, err := ex.env.Loader.LoadChunk(tn, id)
+			if err != nil {
+				return flightResult{}, err
+			}
+			if err := t.AppendChunk(id, rel); err != nil {
+				return flightResult{}, err
+			}
+			if !t.Pin(id) {
+				return flightResult{}, fmt.Errorf("exec: chunk %d of %s vanished after load", id, tn)
+			}
+			return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize(), cost: time.Since(t0)}, nil
+		})
+		if err != nil {
+			return chunkResult{id: id, err: err}
+		}
+		if leader {
+			if res.hit {
+				return chunkResult{id: id}
+			}
+			return chunkResult{id: id, loadedByMe: true, rows: res.rows, bytes: res.bytes, cost: res.cost}
+		}
+		// Waiter: loop back to take our own pin on the now-resident
+		// chunk (or reload if it vanished in the meantime).
+	}
+}
+
+// release offers the chunks this query ingested to the recyclers and
+// drops every pin. A chunk the recycler refuses (transient load) is
+// dropped through the table's reference-counted DropChunk: if another
+// in-flight query still pins it, the data survives until that query's
+// own release. Admission may evict other chunks via the recycler's
+// callback — those drops are reference counted the same way.
+func (ex *executor) release() {
 	for _, lc := range ex.loaded {
 		t, _ := ex.env.Catalog.Table(lc.tableName)
 		rec := ex.env.Recyclers[lc.tableName]
@@ -467,6 +565,11 @@ func (ex *executor) finalizeCache() {
 		}
 	}
 	ex.loaded = nil
+	for _, pc := range ex.pinned {
+		t, _ := ex.env.Catalog.Table(pc.tableName)
+		t.Unpin(pc.id)
+	}
+	ex.pinned = nil
 }
 
 // build constructs the physical operator tree for a plan subtree.

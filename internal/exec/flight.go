@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightKey identifies one chunk ingestion: the unit of deduplication
+// for concurrent queries selecting the same non-resident chunk.
+type flightKey struct {
+	table string
+	id    int64
+}
+
+// flightResult carries what the flight's leader learned while loading.
+// hit marks that the leader found the chunk already resident (and
+// pinned it) instead of loading: the TOCTOU window between a failed
+// pin and opening the flight, closed inside the flight.
+type flightResult struct {
+	rows  int64
+	bytes int64
+	cost  time.Duration
+	hit   bool
+}
+
+// flightCall is one in-flight chunk load shared by its waiters.
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+	err  error
+}
+
+// flightGroup deduplicates concurrent loads of the same chunk, in the
+// manner of golang.org/x/sync/singleflight (reimplemented here: the
+// module has no external dependencies). The first caller for a key
+// becomes the leader and runs fn; callers arriving while the flight is
+// open wait and share the leader's outcome. Errors are not cached: a
+// caller arriving after a failed flight completes starts a fresh one.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+// do runs fn once per open flight of key, returning the shared result
+// and whether this caller was the leader that actually ran fn. A
+// waiter whose context expires stops waiting and returns the context
+// error; the leader's load itself is not cancelled (other queries may
+// still want the chunk).
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (flightResult, error)) (flightResult, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[flightKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, false, c.err
+		case <-ctx.Done():
+			return flightResult{}, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, true, c.err
+}

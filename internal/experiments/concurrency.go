@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sommelier/internal/registrar"
+)
+
+// ConcurrencyRow reports the service throughput of one loading approach
+// at one client count: the concurrent-load benchmark behind sommelierd.
+type ConcurrencyRow struct {
+	Approach registrar.Approach
+	Clients  int
+	Queries  int
+	Wall     time.Duration
+	// QPS is Queries / Wall.
+	QPS float64
+	// AvgLatency is the mean per-query latency observed by clients.
+	AvgLatency time.Duration
+}
+
+// ConcurrencyClientCounts is the sweep the evaluation reports.
+var ConcurrencyClientCounts = []int{1, 4, 16}
+
+// ConcurrentLoad measures queries/sec against one shared DB at 1, 4 and
+// 16 concurrent clients for each of the five loading approaches. The
+// workload is a fixed bag of mixed T1/T2/T4 queries (point, DMd window,
+// actual-data range) spread round-robin over the clients, so every
+// client count does the same total work and the sweep isolates the
+// engine's concurrency behaviour: lock contention, shared chunk
+// flights, recycler churn.
+func ConcurrentLoad(cfg Config) ([]ConcurrencyRow, error) {
+	sf := cfg.ScaleFactors[0]
+	dir, _, err := cfg.Repo(sf, false)
+	if err != nil {
+		return nil, err
+	}
+	start, end := cfg.span(sf)
+	stations := []string{"FIAM", "ISK", "AQU", "CERA"}
+	day := int64(24 * time.Hour)
+	span := end - start
+	// The fixed bag: every client count executes these same queries.
+	// Offsets cycle within the span, leaving room for the one-day
+	// query window (a one-day repository pins every query to day 0).
+	offMod := span - day
+	if offMod <= 0 {
+		offMod = day
+	}
+	var bag []string
+	for i := 0; i < 48; i++ {
+		st := stations[i%len(stations)]
+		lo := start + (int64(i)*day/2)%offMod
+		switch i % 3 {
+		case 0:
+			bag = append(bag, queryT1(st))
+		case 1:
+			bag = append(bag, queryT2(st, lo, lo+day))
+		default:
+			bag = append(bag, queryT4(st, lo, lo+day))
+		}
+	}
+
+	var rows []ConcurrencyRow
+	for _, app := range registrar.Approaches() {
+		for _, clients := range ConcurrencyClientCounts {
+			db, err := openDB(dir, app)
+			if err != nil {
+				return nil, err
+			}
+			var (
+				wg      sync.WaitGroup
+				mu      sync.Mutex
+				lat     time.Duration
+				runErr  error
+				perGoro = make([][]string, clients)
+			)
+			for i, q := range bag {
+				perGoro[i%clients] = append(perGoro[i%clients], q)
+			}
+			t0 := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(queries []string) {
+					defer wg.Done()
+					var local time.Duration
+					for _, sql := range queries {
+						q0 := time.Now()
+						_, err := db.QueryContext(context.Background(), sql)
+						local += time.Since(q0)
+						if err != nil {
+							mu.Lock()
+							if runErr == nil {
+								runErr = err
+							}
+							mu.Unlock()
+							return
+						}
+					}
+					mu.Lock()
+					lat += local
+					mu.Unlock()
+				}(perGoro[c])
+			}
+			wg.Wait()
+			wall := time.Since(t0)
+			if runErr != nil {
+				return nil, fmt.Errorf("concurrency %s/%d: %w", app, clients, runErr)
+			}
+			rows = append(rows, ConcurrencyRow{
+				Approach:   app,
+				Clients:    clients,
+				Queries:    len(bag),
+				Wall:       wall,
+				QPS:        float64(len(bag)) / wall.Seconds(),
+				AvgLatency: lat / time.Duration(len(bag)),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderConcurrency formats the concurrent-load sweep.
+func RenderConcurrency(rows []ConcurrencyRow) string {
+	var sb strings.Builder
+	sb.WriteString("CONCURRENT LOAD — QUERIES/SEC vs CLIENTS (fixed 48-query mixed bag)\n")
+	sb.WriteString(fmt.Sprintf("%-14s %8s %8s %12s %12s\n", "approach", "clients", "qps", "wall", "avg lat"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-14s %8d %8.1f %12s %12s\n",
+			r.Approach, r.Clients, r.QPS, fmtDur(r.Wall), fmtDur(r.AvgLatency)))
+	}
+	return sb.String()
+}

@@ -242,3 +242,24 @@ func TestQueryOfTypePanicsOnUnknown(t *testing.T) {
 	}()
 	queryOfType(9, "FIAM", 0, 1)
 }
+
+func TestConcurrentLoad(t *testing.T) {
+	cfg := tiny(t)
+	rows, err := ConcurrentLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(registrar.Approaches()) * len(ConcurrencyClientCounts)
+	if len(rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	for _, r := range rows {
+		if r.QPS <= 0 || r.Queries == 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	out := RenderConcurrency(rows)
+	if !strings.Contains(out, "lazy") || !strings.Contains(out, "16") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}

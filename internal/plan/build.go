@@ -81,10 +81,18 @@ func (p *Plan) Type() int {
 
 // Build compiles a query against the catalog: view expansion, predicate
 // pushdown, R1–R4 join ordering, Qf marking, aggregation and ordering.
+// The query specification is not modified — compilation qualifies names
+// on a private copy, so one *Query may be Built concurrently by any
+// number of goroutines (e.g. a query server replaying a prepared spec).
 func Build(cat *table.Catalog, q *Query) (*Plan, error) {
 	if q.SamplePct < 0 || q.SamplePct > 100 {
 		return nil, fmt.Errorf("plan: SAMPLE %v outside [0, 100]", q.SamplePct)
 	}
+	qc := *q
+	qc.Select = append([]SelectItem(nil), q.Select...)
+	qc.GroupBy = append([]string(nil), q.GroupBy...)
+	qc.OrderBy = append([]OrderKey(nil), q.OrderBy...)
+	q = &qc
 	tabs, joins, err := resolveFrom(cat, q.From)
 	if err != nil {
 		return nil, err

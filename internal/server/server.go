@@ -1,0 +1,337 @@
+// Package server implements sommelierd's HTTP front end: a JSON query
+// API over one engine.DB, executed by a bounded worker pool so a burst
+// of clients cannot fork an unbounded number of concurrent executions.
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "...", "timeout_ms": 5000}  →  result JSON
+//	GET  /stats    server, cache and engine counters
+//	GET  /healthz  liveness probe
+//
+// The worker pool is the admission controller: requests queue up to
+// QueueDepth jobs and are rejected with 503 beyond that, so overload
+// degrades crisply instead of collapsing the engine. Each request
+// carries a context deadline; cancellation aborts chunk ingestion and
+// batch evaluation mid-query.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sommelier/internal/engine"
+	"sommelier/internal/storage"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers is the size of the query worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-not-running queries; 0 means
+	// 4×Workers. Beyond it, POST /query returns 503.
+	QueueDepth int
+	// DefaultTimeout applies when a request names none; 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms; 0 means 5m.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP query service. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	db    *engine.DB
+	cfg   Config
+	mux   *http.ServeMux
+	jobs  chan *job
+	wg    sync.WaitGroup
+	start time.Time
+
+	received  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	inFlight  atomic.Int64
+	closed    atomic.Bool
+}
+
+type job struct {
+	ctx  context.Context
+	sql  string
+	resp chan jobResult
+}
+
+type jobResult struct {
+	res *engine.Result
+	err error
+}
+
+// New starts the worker pool over db and returns the service.
+func New(db *engine.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		jobs:  make(chan *job, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool. The HTTP server must be shut down
+// first (http.Server.Shutdown), so no handler is still submitting.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.jobs)
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if err := j.ctx.Err(); err != nil {
+			// The client gave up while the job sat in the queue.
+			j.resp <- jobResult{err: err}
+			continue
+		}
+		s.inFlight.Add(1)
+		res, err := s.db.QueryContext(j.ctx, j.sql)
+		s.inFlight.Add(-1)
+		j.resp <- jobResult{res: res, err: err}
+	}
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS overrides the server's default per-request timeout,
+	// capped by the configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryStats mirrors the executor's per-query statistics.
+type QueryStats struct {
+	QueryType      int     `json:"query_type"`
+	ElapsedUS      int64   `json:"elapsed_us"`
+	Stage1US       int64   `json:"stage1_us"`
+	LoadUS         int64   `json:"load_us"`
+	Stage2US       int64   `json:"stage2_us"`
+	ChunksSelected int     `json:"chunks_selected"`
+	ChunksLoaded   int     `json:"chunks_loaded"`
+	CacheHits      int     `json:"cache_hits"`
+	RowsLoaded     int64   `json:"rows_loaded"`
+	SampleFraction float64 `json:"sample_fraction"`
+	DMdComputed    int     `json:"dmd_windows_computed,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	Columns  []string   `json:"columns"`
+	Rows     [][]any    `json:"rows"`
+	RowCount int        `json:"row_count"`
+	Stats    QueryStats `json:"stats"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"sql\""})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.received.Add(1)
+	j := &job{ctx: ctx, sql: req.SQL, resp: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+	default:
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"overloaded: worker queue full"})
+		return
+	}
+	t0 := time.Now()
+	out := <-j.resp
+	if out.err != nil {
+		s.failed.Add(1)
+		writeJSON(w, errorStatus(out.err), errorResponse{out.err.Error()})
+		return
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, toResponse(out.res, time.Since(t0)))
+}
+
+// errorStatus classifies a query error: deadline and cancellation get
+// their dedicated codes; parse and planning failures are the client's
+// query (400); everything else — chunk I/O, executor faults — is a
+// server-side failure (500), so retry and alerting logic can tell the
+// two apart.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	}
+	msg := err.Error()
+	if strings.HasPrefix(msg, "sql:") || strings.HasPrefix(msg, "plan:") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// toResponse converts an engine result to the wire shape.
+func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
+	flat := res.Rel.Flatten()
+	rows := make([][]any, flat.Len())
+	for ri := 0; ri < flat.Len(); ri++ {
+		row := make([]any, flat.Width())
+		for ci := 0; ci < flat.Width(); ci++ {
+			row[ci] = jsonValue(flat.Cols[ci], ri)
+		}
+		rows[ri] = row
+	}
+	st := res.Stats
+	return QueryResponse{
+		Columns:  res.Names,
+		Rows:     rows,
+		RowCount: flat.Len(),
+		Stats: QueryStats{
+			QueryType:      res.QueryType,
+			ElapsedUS:      elapsed.Microseconds(),
+			Stage1US:       st.Stage1.Microseconds(),
+			LoadUS:         st.Load.Microseconds(),
+			Stage2US:       st.Stage2.Microseconds(),
+			ChunksSelected: st.ChunksSelected,
+			ChunksLoaded:   st.ChunksLoaded,
+			CacheHits:      st.CacheHits,
+			RowsLoaded:     st.RowsLoaded,
+			SampleFraction: st.SampleFraction,
+			DMdComputed:    res.DMd.Computed,
+		},
+	}
+}
+
+func jsonValue(c storage.Column, r int) any {
+	if tc, ok := c.(*storage.TimeColumn); ok {
+		return time.Unix(0, tc.Value(r)).UTC().Format("2006-01-02T15:04:05.000")
+	}
+	return storage.ValueAt(c, r)
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	UptimeS    int64  `json:"uptime_s"`
+	Approach   string `json:"approach"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	InFlight   int64  `json:"in_flight"`
+	Received   int64  `json:"received"`
+	Completed  int64  `json:"completed"`
+	Failed     int64  `json:"failed"`
+	Rejected   int64  `json:"rejected"`
+	Cache      struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		BytesUsed int64 `json:"bytes_used"`
+		Chunks    int   `json:"chunks"`
+	} `json:"cache"`
+	MaterializedWindows int `json:"materialized_windows"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	var resp StatsResponse
+	resp.UptimeS = int64(time.Since(s.start).Seconds())
+	resp.Approach = string(s.db.Approach())
+	resp.Workers = s.cfg.Workers
+	resp.QueueDepth = s.cfg.QueueDepth
+	resp.Queued = len(s.jobs)
+	resp.InFlight = s.inFlight.Load()
+	resp.Received = s.received.Load()
+	resp.Completed = s.completed.Load()
+	resp.Failed = s.failed.Load()
+	resp.Rejected = s.rejected.Load()
+	cs := s.db.CacheStats()
+	resp.Cache.Hits = cs.Hits
+	resp.Cache.Misses = cs.Misses
+	resp.Cache.Evictions = cs.Evictions
+	resp.Cache.BytesUsed = cs.BytesUsed
+	resp.Cache.Chunks = cs.Chunks
+	resp.MaterializedWindows = s.db.MaterializedWindows()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

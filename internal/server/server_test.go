@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sommelier/internal/engine"
+	"sommelier/internal/registrar"
+	"sommelier/internal/seisgen"
+)
+
+func testDB(t testing.TB) *engine.DB {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := seisgen.DefaultConfig(2)
+	cfg.SamplesPerFile = 600
+	cfg.MeanSegments = 4
+	if _, err := seisgen.Generate(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func post(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts.URL, QueryRequest{
+		SQL: `SELECT station, COUNT(*) AS n FROM F WHERE station = 'FIAM' GROUP BY station`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 1 || len(qr.Columns) != 2 {
+		t.Fatalf("unexpected result: %+v", qr)
+	}
+	if qr.Rows[0][0] != "FIAM" {
+		t.Fatalf("row = %v", qr.Rows[0])
+	}
+	if qr.Stats.QueryType != 1 {
+		t.Fatalf("query type = %d", qr.Stats.QueryType)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := post(t, ts.URL, QueryRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty sql: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL, QueryRequest{SQL: "SELECT FROM nowhere ("}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken sql: status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	post(t, ts.URL, QueryRequest{SQL: `SELECT station, COUNT(*) AS n FROM F GROUP BY station`})
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Received < 1 || st.Completed < 1 {
+		t.Fatalf("stats did not count the query: %+v", st)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+	if st.Approach != "lazy" {
+		t.Fatalf("approach = %q", st.Approach)
+	}
+}
+
+// TestSixteenConcurrentClients is the service-level acceptance check:
+// 16 clients hammer one sommelierd with lazy-loading queries whose
+// chunk sets overlap, and every response must carry the same correct
+// answer a lone client gets.
+func TestSixteenConcurrentClients(t *testing.T) {
+	const clients, rounds = 16, 3
+	s := New(testDB(t), Config{Workers: 4, QueueDepth: clients * 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	queries := []string{
+		`SELECT AVG(D.sample_value) FROM dataview
+		   WHERE F.station = 'FIAM' AND D.sample_time >= '2010-01-01T00:00:00.000'
+		     AND D.sample_time < '2010-01-02T00:00:00.000'`,
+		`SELECT COUNT(*) AS n FROM dataview
+		   WHERE F.station = 'ISK' AND D.sample_time >= '2010-01-01T00:00:00.000'
+		     AND D.sample_time < '2010-01-03T00:00:00.000'`,
+		`SELECT station, COUNT(*) AS n FROM F WHERE station = 'AQU' GROUP BY station`,
+	}
+	// Single-client baseline.
+	want := make([]string, len(queries))
+	for i, sql := range queries {
+		resp, data := post(t, ts.URL, QueryRequest{SQL: sql})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fmt.Sprint(qr.Rows)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (c + r) % len(queries)
+				resp, data := post(t, ts.URL, QueryRequest{SQL: queries[i], TimeoutMS: 60_000})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d: %s", c, resp.StatusCode, data)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(data, &qr); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := fmt.Sprint(qr.Rows); got != want[i] {
+					t.Errorf("client %d query %d: got %s want %s", c, i, got, want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if wantN := int64(len(queries) + clients*rounds); st.Completed != wantN {
+		t.Fatalf("completed = %d, want %d (%+v)", st.Completed, wantN, st)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("work left behind: %+v", st)
+	}
+}
+
+// TestOverloadRejects fills the queue with slow queries and checks the
+// bounded pool sheds load with 503 instead of queueing without bound.
+func TestOverloadRejects(t *testing.T) {
+	db := testDB(t)
+	s := New(db, Config{Workers: 1, QueueDepth: 1, DefaultTimeout: 10 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	heavy := `SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_time >= '2010-01-01T00:00:00.000'`
+	const burst = 12
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses []int
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := post(t, ts.URL, QueryRequest{SQL: heavy})
+			mu.Lock()
+			statuses = append(statuses, resp.StatusCode)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	ok, shed := 0, 0
+	for _, s := range statuses {
+		switch s {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", s)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no query succeeded under burst")
+	}
+	if ok+shed != burst {
+		t.Fatalf("ok=%d shed=%d of %d", ok, shed, burst)
+	}
+}

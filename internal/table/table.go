@@ -42,6 +42,12 @@ func (c Class) IsMetadata() bool { return c == GivenMetadata || c == DerivedMeta
 // relation; actual-data tables hold one relation per ingested chunk,
 // keyed by chunk ID, so chunks can be ingested, processed in parallel
 // and evicted independently (the paper's "separate table per file").
+//
+// Tables are safe for concurrent use. Chunks of actual-data tables are
+// reference counted: an executor pins every chunk it will scan, and an
+// eviction (DropChunk) of a pinned chunk is deferred until the last pin
+// is released, so one query's cache admission can never yank a chunk
+// another in-flight query is still reading.
 type Table struct {
 	Name       string
 	Class      Class
@@ -56,6 +62,11 @@ type Table struct {
 	data   *storage.Relation
 	pkSeen map[string]bool
 	chunks map[int64]*storage.Relation
+	// pins counts in-flight queries holding each chunk; doomed marks
+	// chunks whose drop was requested while pinned and is deferred to
+	// the release of the last pin.
+	pins   map[int64]int
+	doomed map[int64]bool
 }
 
 // New creates an empty table. For ActualData tables chunkKey must name
@@ -81,6 +92,8 @@ func New(name string, class Class, schema Schema, primaryKey []string, chunkKey 
 		ChunkKey:   chunkKey,
 		data:       storage.NewRelation(),
 		chunks:     make(map[int64]*storage.Relation),
+		pins:       make(map[int64]int),
+		doomed:     make(map[int64]bool),
 	}
 	if len(primaryKey) > 0 && class != ActualData {
 		t.pkSeen = make(map[string]bool)
@@ -99,6 +112,10 @@ func MustNew(name string, class Class, schema Schema, primaryKey []string, chunk
 
 // Append adds a batch to a metadata table, enforcing primary-key
 // uniqueness (the paper defines PKs under every loading variant).
+// The resident relation is replaced copy-on-write, so relations handed
+// out by Data() are immutable snapshots that concurrent scans can read
+// without synchronization while the table keeps growing (e.g. derived
+// metadata materialized by another query's Algorithm 1 run).
 func (t *Table) Append(b *storage.Batch) error {
 	if t.Class == ActualData {
 		return fmt.Errorf("table %s: use AppendChunk for actual-data tables", t.Name)
@@ -130,11 +147,17 @@ func (t *Table) Append(b *storage.Batch) error {
 			t.pkSeen[key] = true
 		}
 	}
-	t.data.Append(b)
+	nd := storage.NewRelation()
+	for _, ob := range t.data.Batches() {
+		nd.Append(ob)
+	}
+	nd.Append(b)
+	t.data = nd
 	return nil
 }
 
-// Data returns the resident relation of a metadata table.
+// Data returns the resident relation of a metadata table: an immutable
+// snapshot that later Appends will not mutate.
 func (t *Table) Data() *storage.Relation {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -170,7 +193,8 @@ func (t *Table) MemSize() int64 {
 }
 
 // AppendChunk installs (or replaces) the relation of one chunk of an
-// actual-data table.
+// actual-data table. Installing a fresh relation clears any deferred
+// drop: the new data starts a new lifetime.
 func (t *Table) AppendChunk(chunkID int64, rel *storage.Relation) error {
 	if t.Class != ActualData {
 		return fmt.Errorf("table %s: AppendChunk on %v table", t.Name, t.Class)
@@ -178,7 +202,50 @@ func (t *Table) AppendChunk(chunkID int64, rel *storage.Relation) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.chunks[chunkID] = rel
+	delete(t.doomed, chunkID)
 	return nil
+}
+
+// Pin takes a reference on a resident chunk, reporting false when the
+// chunk is not resident. While pinned, the chunk survives DropChunk:
+// the drop is deferred until the last pin is released. Pin succeeding
+// is the authoritative residency test under concurrency — a recycler
+// Contains check can go stale between the check and the scan, a pin
+// cannot.
+func (t *Table) Pin(chunkID int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.chunks[chunkID]; !ok {
+		return false
+	}
+	t.pins[chunkID]++
+	return true
+}
+
+// Unpin releases one reference taken by Pin. If the chunk was doomed by
+// a DropChunk while pinned and this was the last pin, the data is
+// dropped now.
+func (t *Table) Unpin(chunkID int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.pins[chunkID]
+	if n <= 1 {
+		delete(t.pins, chunkID)
+		if t.doomed[chunkID] {
+			delete(t.doomed, chunkID)
+			delete(t.chunks, chunkID)
+		}
+		return
+	}
+	t.pins[chunkID] = n - 1
+}
+
+// Pinned reports the current pin count of a chunk (for tests and
+// introspection).
+func (t *Table) Pinned(chunkID int64) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pins[chunkID]
 }
 
 // Chunk returns the relation of one chunk and whether it is resident.
@@ -189,7 +256,11 @@ func (t *Table) Chunk(chunkID int64) (*storage.Relation, bool) {
 	return r, ok
 }
 
-// DropChunk evicts one chunk's data, returning the bytes freed.
+// DropChunk evicts one chunk's data, returning the bytes freed (or
+// scheduled to be freed). When the chunk is pinned by in-flight
+// queries, the drop is deferred: the chunk is marked doomed and the
+// data released when the last pin goes away, so eviction can never
+// corrupt a concurrent scan.
 func (t *Table) DropChunk(chunkID int64) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -197,7 +268,12 @@ func (t *Table) DropChunk(chunkID int64) int64 {
 	if !ok {
 		return 0
 	}
+	if t.pins[chunkID] > 0 {
+		t.doomed[chunkID] = true
+		return r.MemSize()
+	}
 	delete(t.chunks, chunkID)
+	delete(t.doomed, chunkID)
 	return r.MemSize()
 }
 
@@ -232,6 +308,8 @@ func (t *Table) Truncate() {
 	defer t.mu.Unlock()
 	t.data = storage.NewRelation()
 	t.chunks = make(map[int64]*storage.Relation)
+	t.pins = make(map[int64]int)
+	t.doomed = make(map[int64]bool)
 	if t.pkSeen != nil {
 		t.pkSeen = make(map[string]bool)
 	}

@@ -253,3 +253,85 @@ func TestClassPredicates(t *testing.T) {
 		t.Fatal("class names wrong")
 	}
 }
+
+func TestPinDefersDrop(t *testing.T) {
+	d := MustNew("D", ActualData, dataSchema(), nil, "file_id")
+	mk := func(fid int64, n int) *storage.Relation {
+		r := storage.NewRelation()
+		ids := make([]int64, n)
+		ts := make([]int64, n)
+		vs := make([]float64, n)
+		for i := range ids {
+			ids[i] = fid
+			ts[i] = int64(i)
+			vs[i] = float64(i)
+		}
+		r.Append(storage.NewBatch(storage.NewInt64Column(ids), storage.NewTimeColumn(ts), storage.NewFloat64Column(vs)))
+		return r
+	}
+	if d.Pin(5) {
+		t.Fatal("pinned a non-resident chunk")
+	}
+	if err := d.AppendChunk(5, mk(5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Pin(5) || !d.Pin(5) {
+		t.Fatal("pin of resident chunk failed")
+	}
+	if d.Pinned(5) != 2 {
+		t.Fatalf("pin count = %d", d.Pinned(5))
+	}
+	// Dropping a pinned chunk defers: data stays readable.
+	if freed := d.DropChunk(5); freed <= 0 {
+		t.Fatalf("deferred drop reported %d bytes", freed)
+	}
+	if _, ok := d.Chunk(5); !ok {
+		t.Fatal("doomed chunk vanished while pinned")
+	}
+	d.Unpin(5)
+	if _, ok := d.Chunk(5); !ok {
+		t.Fatal("doomed chunk vanished before last unpin")
+	}
+	d.Unpin(5)
+	if _, ok := d.Chunk(5); ok {
+		t.Fatal("doomed chunk survived last unpin")
+	}
+	if d.Pinned(5) != 0 {
+		t.Fatalf("pin count after release = %d", d.Pinned(5))
+	}
+	// Unpinned drop stays immediate; re-append restarts the lifetime.
+	if err := d.AppendChunk(5, mk(5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if d.DropChunk(5) <= 0 {
+		t.Fatal("unpinned drop freed nothing")
+	}
+	if _, ok := d.Chunk(5); ok {
+		t.Fatal("unpinned drop deferred")
+	}
+}
+
+func TestAppendCopyOnWrite(t *testing.T) {
+	f := MustNew("F", GivenMetadata, fileSchema(), nil, "")
+	one := func(id float64) *storage.Batch {
+		return storage.NewBatch(
+			storage.NewInt64Column([]int64{int64(id)}),
+			storage.NewStringColumn([]string{"u"}),
+			storage.NewStringColumn([]string{"s"}),
+			storage.NewStringColumn([]string{"c"}),
+		)
+	}
+	if err := f.Append(one(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.Data()
+	if err := f.Append(one(2)); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows() != 1 {
+		t.Fatalf("snapshot grew to %d rows after a later Append", snap.Rows())
+	}
+	if f.Data().Rows() != 2 {
+		t.Fatalf("table rows = %d", f.Data().Rows())
+	}
+}

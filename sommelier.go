@@ -27,6 +27,20 @@
 // The five loading approaches of the paper's evaluation are all
 // available: Lazy (the contribution), EagerCSV, EagerPlain, EagerIndex
 // and EagerDMd.
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use: any number of goroutines may call
+// Query/QueryContext/Run on one open database, under every loading
+// approach, and each receives exactly the result serial execution
+// would produce. Concurrent queries selecting the same missing chunk
+// share a single load (a singleflight keyed by table and chunk ID);
+// every chunk a query scans is pinned for the duration of execution,
+// so another query's cache eviction defers until the last reader
+// releases it; and derived-metadata maintenance (Algorithm 1) is
+// serialized, deriving each window at most once. cmd/sommelierd serves
+// this guarantee over HTTP with a bounded worker pool; see README.md
+// for the service API.
 package sommelier
 
 import (
