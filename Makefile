@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet test build bench
+.PHONY: ci fmt vet test build bench bench-json bench-micro
 
 ## ci is the documented pre-merge check: formatting, vet, and the full
 ## test suite under the race detector (the concurrency guarantees of
@@ -25,3 +25,16 @@ build:
 ## concurrent-load sweep (slow; see also cmd/benchrunner).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+## bench-json refreshes BENCH_selection.json, the machine-readable
+## headline metrics (lazy T4 hot ms, lazy QPS at 1/16 clients, and
+## allocs/op of the filter/join/group-by microbenchmarks).
+bench-json:
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_selection.json
+	@cat BENCH_selection.json
+
+## bench-micro runs the operator and storage microbenchmarks with
+## allocation counts; compare against a baseline with benchstat.
+bench-micro:
+	$(GO) test -run='^$$' -bench='BenchmarkFilter|BenchmarkZoneSkip|BenchmarkHashJoin|BenchmarkGroupedAggregate' -benchmem ./internal/physical/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/storage/

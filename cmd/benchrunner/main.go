@@ -5,9 +5,16 @@
 //
 //	benchrunner -exp all -work /tmp/sommelier-exp
 //	benchrunner -exp fig7 -basedays 8 -samples 4000
+//	benchrunner -sf 1 -json BENCH_selection.json
 //
 // Experiments: tableII, tableIII, fig6, fig7, fig8, fig9, ablations,
 // concurrency, all.
+//
+// With -json the runner instead collects the headline metrics (lazy T4
+// hot query time, lazy QPS at 1 and 16 clients, allocs/op of the
+// filter/join/group-by microbenchmarks) and writes them to the given
+// path as machine-readable JSON; `make bench-json` maintains the
+// checked-in BENCH_selection.json this way.
 package main
 
 import (
@@ -25,6 +32,7 @@ func main() {
 	baseDays := flag.Int("basedays", 4, "days per station at sf-1")
 	samples := flag.Int("samples", 8000, "samples per chunk")
 	sfs := flag.String("sf", "1,3,9,27", "scale factors")
+	jsonPath := flag.String("json", "", "write headline metrics as JSON to this path and exit")
 	flag.Parse()
 
 	dir := *work
@@ -45,6 +53,14 @@ func main() {
 			fatal(fmt.Errorf("bad scale factor %q", s))
 		}
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
+	}
+
+	if *jsonPath != "" {
+		if err := experiments.WriteHeadlineJSON(cfg, *jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
 	}
 
 	run := func(name string, fn func() error) {

@@ -294,23 +294,10 @@ func (ex *executor) run() (*Result, error) {
 	}, nil
 }
 
-// drain pulls an operator to completion, checking for cancellation
-// between batches.
+// drain pulls an operator to completion through the shared coalescing
+// drain (physical.Drain), checking for cancellation between batches.
 func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
-	out := storage.NewRelation()
-	for {
-		if err := ex.ctx.Err(); err != nil {
-			return nil, err
-		}
-		b, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if b == nil {
-			return out, nil
-		}
-		out.Append(b)
-	}
+	return physical.Drain(op, ex.ctx.Err)
 }
 
 // selectChunks extracts, per actual-data table, the distinct chunk IDs

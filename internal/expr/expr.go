@@ -127,6 +127,14 @@ type Const struct {
 	F float64
 	S string
 	B bool
+
+	// memo caches the constant column of the last Eval so repeated
+	// batches of the same length share one vector. Expressions are
+	// cloned per operator and operators are single-goroutine, so the
+	// memo is unsynchronized; columns are immutable, so clones sharing
+	// a memo are safe.
+	memo    storage.Column
+	memoLen int
 }
 
 // Int returns an int64 literal.
@@ -170,6 +178,15 @@ func (c *Const) Bind([]string, []storage.Kind) (storage.Kind, error) { return c.
 // Eval implements Expr.
 func (c *Const) Eval(b *storage.Batch) storage.Column {
 	n := b.Len()
+	if c.memo != nil && c.memoLen == n {
+		return c.memo
+	}
+	col := c.eval(n)
+	c.memo, c.memoLen = col, n
+	return col
+}
+
+func (c *Const) eval(n int) storage.Column {
 	switch c.K {
 	case storage.KindInt64:
 		vals := make([]int64, n)
@@ -428,15 +445,43 @@ func (a *And) Bind(names []string, kinds []storage.Kind) (storage.Kind, error) {
 	return bindLogic("AND", a.L, a.R, names, kinds)
 }
 
-// Eval implements Expr.
+// Eval implements Expr. The right operand is skipped when the left
+// already decides every row (all false), and the operand columns are
+// reused unchanged in the degenerate cases, avoiding the output
+// allocation.
 func (a *And) Eval(b *storage.Batch) storage.Column {
-	l := storage.Bools(a.L.Eval(b))
+	lc := a.L.Eval(b)
+	l := storage.Bools(lc)
+	anyTrue, anyFalse := boolSummary(l)
+	if !anyTrue {
+		return lc
+	}
+	if !anyFalse {
+		return a.R.Eval(b)
+	}
 	r := storage.Bools(a.R.Eval(b))
 	out := make([]bool, len(l))
 	for i := range out {
 		out[i] = l[i] && r[i]
 	}
 	return storage.NewBoolColumn(out)
+}
+
+// boolSummary reports whether vals contains any true and any false,
+// bailing out as soon as both are seen so mixed batches pay O(1), not
+// an extra full pass.
+func boolSummary(vals []bool) (anyTrue, anyFalse bool) {
+	for _, v := range vals {
+		if v {
+			anyTrue = true
+		} else {
+			anyFalse = true
+		}
+		if anyTrue && anyFalse {
+			return
+		}
+	}
+	return
 }
 
 // Walk implements Expr.
@@ -460,9 +505,18 @@ func (o *Or) Bind(names []string, kinds []storage.Kind) (storage.Kind, error) {
 	return bindLogic("OR", o.L, o.R, names, kinds)
 }
 
-// Eval implements Expr.
+// Eval implements Expr. The right operand is skipped when the left
+// already accepts every row.
 func (o *Or) Eval(b *storage.Batch) storage.Column {
-	l := storage.Bools(o.L.Eval(b))
+	lc := o.L.Eval(b)
+	l := storage.Bools(lc)
+	anyTrue, anyFalse := boolSummary(l)
+	if !anyFalse {
+		return lc
+	}
+	if !anyTrue {
+		return o.R.Eval(b)
+	}
 	r := storage.Bools(o.R.Eval(b))
 	out := make([]bool, len(l))
 	for i := range out {

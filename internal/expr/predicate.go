@@ -129,6 +129,10 @@ func RangeConst(e Expr) (col string, op CmpOp, c *Const, ok bool) {
 	return "", 0, nil, false
 }
 
+// FlipCmp mirrors an inequality so the column lands on the left:
+// `c < x` becomes `x > c`. Equality operators are unchanged.
+func FlipCmp(op CmpOp) CmpOp { return flip(op) }
+
 func flip(op CmpOp) CmpOp {
 	switch op {
 	case LT:

@@ -21,10 +21,17 @@ type Key struct {
 }
 
 // HashIndex maps key values of a relation to row numbers (positions in
-// the flattened relation).
+// the flattened relation). Alongside the hash table it keeps min/max
+// bounds of the integer key slots over every inserted key — a zone map
+// over the key space — so a Lookup outside the bounds is rejected
+// before hashing the (string-carrying) composite key.
 type HashIndex struct {
 	cols []int
 	rows map[Key][]int32
+	// loI/hiI bound the I0..I2 slots of all inserted keys; unused slots
+	// are zero on both the inserted and the probed side, so they never
+	// cause a false rejection.
+	loI, hiI [3]int64
 }
 
 // KeyAt extracts the composite key of row r from the given columns of
@@ -95,13 +102,39 @@ func BuildHash(b *storage.Batch, cols []int) (*HashIndex, error) {
 		if err != nil {
 			return nil, err
 		}
+		ki := [3]int64{k.I0, k.I1, k.I2}
+		if len(idx.rows) == 0 {
+			idx.loI, idx.hiI = ki, ki
+		} else {
+			for s, v := range ki {
+				if v < idx.loI[s] {
+					idx.loI[s] = v
+				}
+				if v > idx.hiI[s] {
+					idx.hiI[s] = v
+				}
+			}
+		}
 		idx.rows[k] = append(idx.rows[k], int32(r))
 	}
 	return idx, nil
 }
 
-// Lookup returns the row numbers with the given key.
-func (ix *HashIndex) Lookup(k Key) []int32 { return ix.rows[k] }
+// Lookup returns the row numbers with the given key. Keys whose integer
+// slots fall outside the indexed bounds are rejected without hashing —
+// the common shape of a point query probing a time outside the indexed
+// range.
+func (ix *HashIndex) Lookup(k Key) []int32 {
+	if len(ix.rows) == 0 {
+		return nil
+	}
+	if k.I0 < ix.loI[0] || k.I0 > ix.hiI[0] ||
+		k.I1 < ix.loI[1] || k.I1 > ix.hiI[1] ||
+		k.I2 < ix.loI[2] || k.I2 > ix.hiI[2] {
+		return nil
+	}
+	return ix.rows[k]
+}
 
 // Len reports the number of distinct keys.
 func (ix *HashIndex) Len() int { return len(ix.rows) }
@@ -156,32 +189,34 @@ func (ix *JoinIndex) Len() int { return len(ix.to) }
 func (ix *JoinIndex) MemSize() int64 { return int64(len(ix.to)) * 4 }
 
 // ZoneMap holds per-chunk min/max bounds of one numeric or time column,
-// enabling chunk pruning without reading data.
+// enabling chunk pruning without reading data. Ok marks that the
+// bounds are valid; a zone over an unsupported column kind carries
+// Ok=false and never prunes (fail-open, where pruning on a bogus
+// [0,0] bound would silently drop rows).
 type ZoneMap struct {
 	Min, Max int64
 	Rows     int
+	Ok       bool
 }
 
-// BuildZoneMap computes the bounds of an int64/time column.
+// BuildZoneMap computes the bounds of an int64/time column through the
+// shared storage.ColumnZone routine (the same one behind the
+// relation's batch-level zone maps, so chunk- and batch-level pruning
+// cannot diverge).
 func BuildZoneMap(c storage.Column) ZoneMap {
-	vals := storage.Int64s(c)
-	zm := ZoneMap{Rows: len(vals)}
-	if len(vals) == 0 {
-		return zm
-	}
-	zm.Min, zm.Max = vals[0], vals[0]
-	for _, v := range vals[1:] {
-		if v < zm.Min {
-			zm.Min = v
-		}
-		if v > zm.Max {
-			zm.Max = v
-		}
+	zm := ZoneMap{Rows: c.Len()}
+	if z := storage.ColumnZone(c); z.Ok {
+		zm.Min, zm.Max, zm.Ok = z.Min, z.Max, true
 	}
 	return zm
 }
 
-// MayContainRange reports whether [lo, hi] intersects the zone.
+// MayContainRange reports whether [lo, hi] intersects the zone: the
+// negation of storage.Zone.Disjoint, plus the empty-zone guard. An
+// invalid zone over non-empty data conservatively reports true.
 func (z ZoneMap) MayContainRange(lo, hi int64) bool {
-	return z.Rows > 0 && lo <= z.Max && hi >= z.Min
+	if z.Rows == 0 {
+		return false
+	}
+	return !(storage.Zone{Min: z.Min, Max: z.Max, Ok: z.Ok}).Disjoint(lo, hi)
 }

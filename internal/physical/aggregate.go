@@ -72,6 +72,13 @@ func (s *aggState) addI(v int64) {
 
 // HashAggregate groups its input and computes aggregates per group; a
 // single global group when groupCols is empty.
+//
+// Grouping by one int64/time column — the dominant shape in the
+// workload (GROUP BY file_id, GROUP BY window_start) — runs a
+// specialized path keyed by the raw int64 value: no composite index.Key
+// construction, no per-row interface dispatch for the group
+// representative, and probing composes with a deferred selection on the
+// input batch. Composite groupings keep the general index.Key path.
 type HashAggregate struct {
 	in        Operator
 	groupCols []int
@@ -79,6 +86,14 @@ type HashAggregate struct {
 	names     []string
 	kinds     []storage.Kind
 	argKinds  []storage.Kind
+	// fastKey marks the specialized single-int64/time grouping;
+	// differential tests clear it to force the composite path.
+	fastKey bool
+	// exprArgs marks that some aggregate argument is a computed
+	// expression (not a bare column reference): those evaluate
+	// positionally over a whole batch, so a sparsely selected input is
+	// materialized first instead of folded through its selection.
+	exprArgs bool
 
 	done bool
 }
@@ -113,7 +128,13 @@ func NewHashAggregate(in Operator, groupCols []int, aggs []AggColumn) (*HashAggr
 		h.argKinds = append(h.argKinds, argKind)
 		h.names = append(h.names, a.Name)
 		h.kinds = append(h.kinds, aggKind(a.Func, argKind))
+		if a.Arg != nil {
+			if _, isCol := a.Arg.(*expr.ColRef); !isCol {
+				h.exprArgs = true
+			}
+		}
 	}
+	h.fastKey = len(groupCols) == 1 && isIntKeyKind(inKinds[groupCols[0]])
 	return h, nil
 }
 
@@ -139,17 +160,41 @@ func (h *HashAggregate) Names() []string { return h.names }
 // Kinds implements Operator.
 func (h *HashAggregate) Kinds() []storage.Kind { return h.kinds }
 
+// group accumulates one output row of a HashAggregate.
+type group struct {
+	repr   []any // group column values (generic path only)
+	states []aggState
+}
+
+// update folds row r of the evaluated argument columns into the group.
+func (g *group) update(argCols []storage.Column, r int) {
+	for i := range g.states {
+		st := &g.states[i]
+		if argCols[i] == nil {
+			st.n++ // COUNT(*)
+			continue
+		}
+		switch c := argCols[i].(type) {
+		case *storage.Float64Column:
+			st.addF(c.Value(r))
+		case *storage.Int64Column:
+			st.addI(c.Value(r))
+		case *storage.TimeColumn:
+			st.addI(c.Value(r))
+		}
+	}
+}
+
 // Next implements Operator.
 func (h *HashAggregate) Next() (*storage.Batch, error) {
 	if h.done {
 		return nil, nil
 	}
 	h.done = true
-
-	type group struct {
-		repr   []any // group column values
-		states []aggState
+	if h.fastKey {
+		return h.nextIntKey()
 	}
+
 	groups := make(map[index.Key]*group)
 	var order []index.Key
 
@@ -161,6 +206,7 @@ func (h *HashAggregate) Next() (*storage.Batch, error) {
 		if b == nil {
 			break
 		}
+		b = b.Materialize()
 		// Evaluate aggregate arguments once per batch.
 		argCols := make([]storage.Column, len(h.aggs))
 		for i, a := range h.aggs {
@@ -183,21 +229,7 @@ func (h *HashAggregate) Next() (*storage.Batch, error) {
 				groups[k] = g
 				order = append(order, k)
 			}
-			for i := range h.aggs {
-				st := &g.states[i]
-				if argCols[i] == nil {
-					st.n++ // COUNT(*)
-					continue
-				}
-				switch c := argCols[i].(type) {
-				case *storage.Float64Column:
-					st.addF(c.Value(r))
-				case *storage.Int64Column:
-					st.addI(c.Value(r))
-				case *storage.TimeColumn:
-					st.addI(c.Value(r))
-				}
-			}
+			g.update(argCols, r)
 		}
 	}
 
@@ -210,59 +242,137 @@ func (h *HashAggregate) Next() (*storage.Batch, error) {
 	// Deterministic group order for stable results.
 	sort.Slice(order, func(i, j int) bool { return keyLess(order[i], order[j]) })
 
-	builders := make([]storage.Builder, len(h.names))
-	for i, k := range h.kinds {
-		builders[i] = storage.NewBuilder(k, len(groups))
-	}
+	builders := h.newBuilders(len(groups))
 	for _, k := range order {
 		g := groups[k]
 		for i := range h.groupCols {
 			builders[i].AppendAny(g.repr[i])
 		}
+		h.appendAggs(builders, g)
+	}
+	return finishBuilders(builders), nil
+}
+
+// nextIntKey is the specialized single-int64/time-key accumulation: the
+// group key is read straight from the column's backing slice and hashed
+// as a plain int64.
+func (h *HashAggregate) nextIntKey() (*storage.Batch, error) {
+	gc := h.groupCols[0]
+	groups := make(map[int64]*group)
+	var order []int64
+
+	for {
+		b, err := h.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if h.exprArgs {
+			// Computed arguments evaluate over every base row; with a
+			// sparse selection it is cheaper to gather the survivors
+			// first, as the composite path does.
+			b = b.Materialize()
+		}
+		base, sel := b.DetachSel()
+		argCols := make([]storage.Column, len(h.aggs))
 		for i, a := range h.aggs {
-			st := g.states[i]
-			bi := len(h.groupCols) + i
-			switch a.Func {
-			case AggCount:
-				builders[bi].AppendAny(st.n)
-			case AggSum:
-				if h.kinds[bi] == storage.KindInt64 {
-					builders[bi].AppendAny(st.iSum)
-				} else {
-					builders[bi].AppendAny(st.sum)
-				}
-			case AggAvg:
-				if st.n == 0 {
-					builders[bi].AppendAny(math.NaN())
-				} else {
-					builders[bi].AppendAny(st.mean)
-				}
-			case AggStddev:
-				if st.n < 2 {
-					builders[bi].AppendAny(0.0)
-				} else {
-					builders[bi].AppendAny(math.Sqrt(st.m2 / float64(st.n-1)))
-				}
-			case AggMin, AggMax:
-				v := st.min
-				iv := st.iMin
-				if a.Func == AggMax {
-					v, iv = st.max, st.iMax
-				}
-				switch h.kinds[bi] {
-				case storage.KindInt64, storage.KindTime:
-					builders[bi].AppendAny(iv)
-				default:
-					builders[bi].AppendAny(v)
-				}
+			if a.Arg != nil {
+				argCols[i] = a.Arg.Eval(base)
+			}
+		}
+		keys := storage.Int64s(base.Cols[gc])
+		fold := func(r int) {
+			k := keys[r]
+			g, ok := groups[k]
+			if !ok {
+				g = &group{states: make([]aggState, len(h.aggs))}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.update(argCols, r)
+		}
+		if sel != nil {
+			for _, r := range sel {
+				fold(int(r))
+			}
+			storage.PutSel(sel)
+		} else {
+			for r := range keys {
+				fold(r)
 			}
 		}
 	}
+
+	// Deterministic group order: ascending key, matching the composite
+	// path's keyLess ordering (the key occupies slot I0).
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	builders := h.newBuilders(len(groups))
+	for _, k := range order {
+		builders[0].AppendAny(k)
+		h.appendAggs(builders, groups[k])
+	}
+	return finishBuilders(builders), nil
+}
+
+func (h *HashAggregate) newBuilders(nGroups int) []storage.Builder {
+	builders := make([]storage.Builder, len(h.names))
+	for i, k := range h.kinds {
+		builders[i] = storage.NewBuilder(k, nGroups)
+	}
+	return builders
+}
+
+func finishBuilders(builders []storage.Builder) *storage.Batch {
 	cols := make([]storage.Column, len(builders))
 	for i, b := range builders {
 		cols[i] = b.Finish()
 	}
-	return storage.NewBatch(cols...), nil
+	return storage.NewBatch(cols...)
+}
+
+// appendAggs renders one group's aggregate results into the builders.
+func (h *HashAggregate) appendAggs(builders []storage.Builder, g *group) {
+	for i, a := range h.aggs {
+		st := g.states[i]
+		bi := len(h.groupCols) + i
+		switch a.Func {
+		case AggCount:
+			builders[bi].AppendAny(st.n)
+		case AggSum:
+			if h.kinds[bi] == storage.KindInt64 {
+				builders[bi].AppendAny(st.iSum)
+			} else {
+				builders[bi].AppendAny(st.sum)
+			}
+		case AggAvg:
+			if st.n == 0 {
+				builders[bi].AppendAny(math.NaN())
+			} else {
+				builders[bi].AppendAny(st.mean)
+			}
+		case AggStddev:
+			if st.n < 2 {
+				builders[bi].AppendAny(0.0)
+			} else {
+				builders[bi].AppendAny(math.Sqrt(st.m2 / float64(st.n-1)))
+			}
+		case AggMin, AggMax:
+			v := st.min
+			iv := st.iMin
+			if a.Func == AggMax {
+				v, iv = st.max, st.iMax
+			}
+			switch h.kinds[bi] {
+			case storage.KindInt64, storage.KindTime:
+				builders[bi].AppendAny(iv)
+			default:
+				builders[bi].AppendAny(v)
+			}
+		}
+	}
 }
 
 func keyLess(a, b index.Key) bool {

@@ -28,6 +28,65 @@ func BenchmarkFilterScan(b *testing.B) {
 	rel, names, kinds := benchRel(1 << 16)
 	pred := expr.NewCmp(expr.GT, expr.Col("D.val"), expr.Float(0))
 	b.SetBytes(int64(rel.Rows()) * 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewRelScan(rel, names, kinds, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterChain stacks a residual Filter above a filtering scan:
+// the selection-composition hot path (no intermediate gather).
+func BenchmarkFilterChain(b *testing.B) {
+	rel, names, kinds := benchRel(1 << 16)
+	scanPred := expr.NewCmp(expr.GT, expr.Col("D.val"), expr.Float(-500))
+	residual := expr.NewAnd(
+		expr.NewCmp(expr.LT, expr.Col("D.val"), expr.Float(500)),
+		expr.NewCmp(expr.GE, expr.Col("D.file_id"), expr.Int(8)))
+	b.SetBytes(int64(rel.Rows()) * 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewRelScan(rel, names, kinds, scanPred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := NewFilter(s, residual)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoneSkipScan scans a relation whose batches carry disjoint
+// file_id ranges with a predicate selecting one batch: the zone-map
+// pruning path.
+func BenchmarkZoneSkipScan(b *testing.B) {
+	rel := storage.NewRelation()
+	nBatches := 16
+	for bi := 0; bi < nBatches; bi++ {
+		ids := make([]int64, storage.BatchSize)
+		vals := make([]float64, storage.BatchSize)
+		for i := range ids {
+			ids[i] = int64(bi*1000 + i%1000)
+		}
+		rel.Append(storage.NewBatch(storage.NewInt64Column(ids), storage.NewFloat64Column(vals)))
+	}
+	names := []string{"D.file_id", "D.val"}
+	kinds := []storage.Kind{storage.KindInt64, storage.KindFloat64}
+	pred := expr.NewAnd(
+		expr.NewCmp(expr.GE, expr.Col("D.file_id"), expr.Int(5000)),
+		expr.NewCmp(expr.LT, expr.Col("D.file_id"), expr.Int(6000)))
+	rel.Zone(0, 0) // warm the zone cache outside the loop
+	b.SetBytes(int64(rel.Rows()) * 16)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := NewRelScan(rel, names, kinds, pred)
 		if err != nil {
@@ -48,6 +107,7 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 	dimRel.Append(storage.NewBatch(storage.NewInt64Column(ids)))
 	factRel, fnames, fkinds := benchRel(1 << 16)
 	b.SetBytes(int64(factRel.Rows()) * 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ds, _ := NewRelScan(dimRel, []string{"F.file_id"}, []storage.Kind{storage.KindInt64}, nil)
 		fs, _ := NewRelScan(factRel, fnames, fkinds, nil)
@@ -64,6 +124,7 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 func BenchmarkGroupedAggregate(b *testing.B) {
 	rel, names, kinds := benchRel(1 << 16)
 	b.SetBytes(int64(rel.Rows()) * 16)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, _ := NewRelScan(rel, names, kinds, nil)
 		agg, err := NewHashAggregate(s, []int{0}, []AggColumn{

@@ -11,15 +11,27 @@ import (
 // build side — in the plans this package serves, the left input is
 // always the (small) metadata composite, while the right side streams
 // the (large) actual data, so build-left is the right default.
+//
+// The dominant single-int64 (or timestamp) key case runs a specialized
+// path: the build table is a map[int64][]int32 fed straight from the
+// key column's backing slice, and the probe reads the key slice
+// directly — no composite index.Key construction, no per-row KeyAt
+// dispatch. Probing also composes with a deferred selection on the
+// probe batch, so a filter below the join never gathers. Composite keys
+// keep the general index.Key path.
 type HashJoin struct {
 	left, right   Operator
 	leftK, rightK []int
 	names         []string
 	kinds         []storage.Kind
+	// fastKey marks the specialized single-int64/time key path;
+	// differential tests clear it to force the composite path.
+	fastKey bool
 
 	built     bool
 	buildData *storage.Batch
 	table     map[index.Key][]int32
+	intTable  map[int64][]int32
 }
 
 // NewHashJoin joins left and right on pairwise-equal key columns given
@@ -38,8 +50,9 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, er
 	return &HashJoin{
 		left: left, right: right,
 		leftK: leftKeys, rightK: rightKeys,
-		names: append(append([]string{}, left.Names()...), right.Names()...),
-		kinds: append(append([]storage.Kind{}, left.Kinds()...), right.Kinds()...),
+		fastKey: len(leftKeys) == 1 && isIntKeyKind(lk[leftKeys[0]]) && isIntKeyKind(rk[rightKeys[0]]),
+		names:   append(append([]string{}, left.Names()...), right.Names()...),
+		kinds:   append(append([]storage.Kind{}, left.Kinds()...), right.Kinds()...),
 	}, nil
 }
 
@@ -47,9 +60,12 @@ func joinComparable(a, b storage.Kind) bool {
 	if a == b {
 		return true
 	}
-	isInt := func(k storage.Kind) bool { return k == storage.KindInt64 || k == storage.KindTime }
-	return isInt(a) && isInt(b)
+	return isIntKeyKind(a) && isIntKeyKind(b)
 }
+
+// isIntKeyKind reports kinds backed by an int64 slice, eligible for the
+// specialized hash paths.
+func isIntKeyKind(k storage.Kind) bool { return k == storage.KindInt64 || k == storage.KindTime }
 
 // Names implements Operator.
 func (j *HashJoin) Names() []string { return j.names }
@@ -63,8 +79,18 @@ func (j *HashJoin) build() error {
 		return err
 	}
 	j.buildData = rel.Flatten()
-	j.table = make(map[index.Key][]int32, j.buildData.Len())
 	n := j.buildData.Len()
+	if j.fastKey {
+		j.intTable = make(map[int64][]int32, n)
+		if n > 0 {
+			for r, v := range storage.Int64s(j.buildData.Cols[j.leftK[0]]) {
+				j.intTable[v] = append(j.intTable[v], int32(r))
+			}
+		}
+		j.built = true
+		return nil
+	}
+	j.table = make(map[index.Key][]int32, n)
 	for r := 0; r < n; r++ {
 		k, err := index.KeyAt(j.buildData, j.leftK, r)
 		if err != nil {
@@ -76,6 +102,13 @@ func (j *HashJoin) build() error {
 	return nil
 }
 
+func (j *HashJoin) tableEmpty() bool {
+	if j.fastKey {
+		return len(j.intTable) == 0
+	}
+	return len(j.table) == 0
+}
+
 // Next implements Operator.
 func (j *HashJoin) Next() (*storage.Batch, error) {
 	if !j.built {
@@ -83,7 +116,7 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 			return nil, err
 		}
 	}
-	if len(j.table) == 0 {
+	if j.tableEmpty() {
 		return nil, nil
 	}
 	for {
@@ -91,23 +124,54 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 		if err != nil || rb == nil {
 			return nil, err
 		}
-		var leftIdx, rightIdx []int32
-		n := rb.Len()
-		for r := 0; r < n; r++ {
-			k, err := index.KeyAt(rb, j.rightK, r)
-			if err != nil {
-				return nil, err
+		leftIdx := storage.GetSel(rb.Len())
+		rightIdx := storage.GetSel(rb.Len())
+		var base *storage.Batch
+		if j.fastKey {
+			var sel []int32
+			base, sel = rb.DetachSel()
+			keys := storage.Int64s(base.Cols[j.rightK[0]])
+			if sel != nil {
+				for _, r := range sel {
+					for _, lr := range j.intTable[keys[r]] {
+						leftIdx = append(leftIdx, lr)
+						rightIdx = append(rightIdx, r)
+					}
+				}
+				storage.PutSel(sel)
+			} else {
+				for r, k := range keys {
+					for _, lr := range j.intTable[k] {
+						leftIdx = append(leftIdx, lr)
+						rightIdx = append(rightIdx, int32(r))
+					}
+				}
 			}
-			for _, lr := range j.table[k] {
-				leftIdx = append(leftIdx, lr)
-				rightIdx = append(rightIdx, int32(r))
+		} else {
+			base = rb.Materialize()
+			n := base.Len()
+			for r := 0; r < n; r++ {
+				k, err := index.KeyAt(base, j.rightK, r)
+				if err != nil {
+					storage.PutSel(leftIdx)
+					storage.PutSel(rightIdx)
+					return nil, err
+				}
+				for _, lr := range j.table[k] {
+					leftIdx = append(leftIdx, lr)
+					rightIdx = append(rightIdx, int32(r))
+				}
 			}
 		}
 		if len(leftIdx) == 0 {
+			storage.PutSel(leftIdx)
+			storage.PutSel(rightIdx)
 			continue
 		}
 		lcols := j.buildData.Gather(leftIdx)
-		rcols := rb.Gather(rightIdx)
+		rcols := base.Gather(rightIdx)
+		storage.PutSel(leftIdx)
+		storage.PutSel(rightIdx)
 		return storage.NewBatch(append(append([]storage.Column{}, lcols.Cols...), rcols.Cols...)...), nil
 	}
 }

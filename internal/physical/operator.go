@@ -13,6 +13,7 @@ package physical
 
 import (
 	"fmt"
+	"math"
 
 	"sommelier/internal/expr"
 	"sommelier/internal/index"
@@ -20,7 +21,10 @@ import (
 )
 
 // Operator produces a stream of batches. Next returns nil when the
-// stream is exhausted.
+// stream is exhausted. Batches may carry a deferred selection vector
+// (storage.Batch.Sel); consumers either compose with it (Filter, the
+// specialized join/group-by paths) or materialize it on first
+// contiguous access.
 type Operator interface {
 	// Names returns the qualified output column names.
 	Names() []string
@@ -30,34 +34,91 @@ type Operator interface {
 	Next() (*storage.Batch, error)
 }
 
-// Run drains an operator into a relation.
+// BatchHinter is an optional Operator refinement reporting an upper
+// bound on the number of batches the operator will emit, so drains can
+// pre-size their output relation.
+type BatchHinter interface {
+	BatchHint() int
+}
+
+// Run drains an operator into a relation; see Drain.
 func Run(op Operator) (*storage.Relation, error) {
-	out := storage.NewRelation()
+	return Drain(op, nil)
+}
+
+// Drain pulls an operator to completion into a relation pre-sized from
+// the operator's batch-count hint. Selection-carrying batches over
+// fixed-width schemas are coalesced into full batches instead of
+// gathered one by one; contiguous batches pass through untouched
+// (flushing first, to preserve row order). A non-nil check runs before
+// each pull and aborts the drain when it errors — the executor passes
+// its context's Err for cancellation between batches.
+func Drain(op Operator, check func() error) (*storage.Relation, error) {
+	out := NewOutputRelation(op)
+	coal := storage.NewCoalescer(op.Kinds())
 	for {
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
 		}
 		if b == nil {
+			coal.Flush(out)
 			return out, nil
 		}
+		if coal.Eligible(b) {
+			coal.Add(out, b)
+			continue
+		}
+		coal.Flush(out)
 		out.Append(b)
 	}
 }
 
+// NewOutputRelation returns an empty relation sized for op's output.
+func NewOutputRelation(op Operator) *storage.Relation {
+	if h, ok := op.(BatchHinter); ok {
+		return storage.NewRelationWithCap(h.BatchHint())
+	}
+	return storage.NewRelation()
+}
+
 // RelScan streams a materialized relation, optionally filtering it. It
 // implements the scan, result-scan and cache-scan access paths.
+//
+// A predicate is evaluated through the fused selection-vector kernels
+// (expr.EvalSel): surviving rows travel as a deferred selection on the
+// emitted batch instead of being gathered eagerly. Column-vs-constant
+// range conjuncts are additionally checked against the relation's
+// per-batch zone maps, so wholly-out-of-range batches are skipped
+// without touching a single value.
 type RelScan struct {
-	names  []string
-	kinds  []storage.Kind
-	pred   expr.Expr
-	splits []*storage.Batch
-	pos    int
+	names   []string
+	kinds   []storage.Kind
+	pred    expr.Expr
+	rel     *storage.Relation
+	splits  []*storage.Batch
+	bounds  []zoneBound
+	pos     int
+	skipped int
+}
+
+// zoneBound is a necessary [Lo, Hi] condition on one int64/time column,
+// derived from a predicate conjunct; a batch whose zone is disjoint
+// from it cannot contain qualifying rows.
+type zoneBound struct {
+	col    int
+	lo, hi int64
 }
 
 // NewRelScan builds a scan over rel. If pred is non-nil it is bound
 // against the schema and applied per batch.
 func NewRelScan(rel *storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) (*RelScan, error) {
+	s := &RelScan{names: names, kinds: kinds, rel: rel, splits: rel.Batches()}
 	if pred != nil {
 		pred = expr.Clone(pred)
 		if k, err := pred.Bind(names, kinds); err != nil {
@@ -65,8 +126,72 @@ func NewRelScan(rel *storage.Relation, names []string, kinds []storage.Kind, pre
 		} else if k != storage.KindBool {
 			return nil, fmt.Errorf("physical: scan predicate is %v, not boolean", k)
 		}
+		s.pred = pred
+		s.bounds = zoneBounds(pred, kinds)
 	}
-	return &RelScan{names: names, kinds: kinds, pred: pred, splits: rel.Batches()}, nil
+	return s, nil
+}
+
+// zoneBounds extracts per-column range bounds from the top-level
+// conjuncts of a bound predicate. Only col-op-const conjuncts over
+// int64/time columns contribute; every other conjunct is simply not
+// represented (the bounds are necessary, not sufficient, conditions).
+func zoneBounds(pred expr.Expr, kinds []storage.Kind) []zoneBound {
+	var bounds []zoneBound
+	for _, conj := range expr.Conjuncts(pred) {
+		cmp, ok := conj.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		col, op, k := cmp.L, cmp.Op, cmp.R
+		cr, isCol := col.(*expr.ColRef)
+		kc, isConst := k.(*expr.Const)
+		if !isCol || !isConst {
+			// Maybe written const-op-col.
+			cr, isCol = cmp.R.(*expr.ColRef)
+			kc, isConst = cmp.L.(*expr.Const)
+			if !isCol || !isConst {
+				continue
+			}
+			op = expr.FlipCmp(op)
+		}
+		if cr.Idx < 0 || cr.Idx >= len(kinds) {
+			continue
+		}
+		switch kinds[cr.Idx] {
+		case storage.KindInt64, storage.KindTime:
+		default:
+			continue
+		}
+		switch kc.K {
+		case storage.KindInt64, storage.KindTime:
+		default:
+			continue
+		}
+		b := zoneBound{col: cr.Idx, lo: math.MinInt64, hi: math.MaxInt64}
+		switch op {
+		case expr.EQ:
+			b.lo, b.hi = kc.I, kc.I
+		case expr.LT:
+			if kc.I == math.MinInt64 {
+				continue
+			}
+			b.hi = kc.I - 1
+		case expr.LE:
+			b.hi = kc.I
+		case expr.GT:
+			if kc.I == math.MaxInt64 {
+				continue
+			}
+			b.lo = kc.I + 1
+		case expr.GE:
+			b.lo = kc.I
+		default: // NE prunes nothing
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	return bounds
 }
 
 // Names implements Operator.
@@ -75,27 +200,53 @@ func (s *RelScan) Names() []string { return s.names }
 // Kinds implements Operator.
 func (s *RelScan) Kinds() []storage.Kind { return s.kinds }
 
+// BatchHint implements BatchHinter.
+func (s *RelScan) BatchHint() int { return len(s.splits) }
+
+// Skipped reports how many batches the zone maps pruned.
+func (s *RelScan) Skipped() int { return s.skipped }
+
 // Next implements Operator.
 func (s *RelScan) Next() (*storage.Batch, error) {
 	for s.pos < len(s.splits) {
-		b := s.splits[s.pos]
+		i := s.pos
+		b := s.splits[i]
 		s.pos++
 		if s.pred == nil {
 			return b, nil
 		}
-		idx := expr.SelectRows(s.pred, b)
-		if len(idx) == 0 {
+		if s.pruneByZone(i) {
+			s.skipped++
 			continue
 		}
-		if len(idx) == b.Len() {
+		sel := expr.EvalSel(s.pred, b, nil)
+		if len(sel) == 0 {
+			storage.PutSel(sel)
+			continue
+		}
+		if len(sel) == b.Len() {
+			storage.PutSel(sel)
 			return b, nil
 		}
-		return b.Gather(idx), nil
+		return b.WithSel(sel), nil
 	}
 	return nil, nil
 }
 
-// Filter applies a residual predicate to its input.
+// pruneByZone reports that batch i cannot contain qualifying rows.
+func (s *RelScan) pruneByZone(i int) bool {
+	for _, zb := range s.bounds {
+		if s.rel.Zone(i, zb.col).Disjoint(zb.lo, zb.hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter applies a residual predicate to its input, composing with any
+// deferred selection the input batch carries: a Filter above a
+// filtering scan evaluates only the rows the scan selected and never
+// gathers in between.
 type Filter struct {
 	in   Operator
 	pred expr.Expr
@@ -120,6 +271,14 @@ func (f *Filter) Names() []string { return f.in.Names() }
 // Kinds implements Operator.
 func (f *Filter) Kinds() []storage.Kind { return f.in.Kinds() }
 
+// BatchHint implements BatchHinter.
+func (f *Filter) BatchHint() int {
+	if h, ok := f.in.(BatchHinter); ok {
+		return h.BatchHint()
+	}
+	return 0
+}
+
 // Next implements Operator.
 func (f *Filter) Next() (*storage.Batch, error) {
 	for {
@@ -127,14 +286,18 @@ func (f *Filter) Next() (*storage.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		idx := expr.SelectRows(f.pred, b)
-		if len(idx) == 0 {
+		base, selIn := b.DetachSel()
+		sel := expr.EvalSel(f.pred, base, selIn)
+		storage.PutSel(selIn)
+		if len(sel) == 0 {
+			storage.PutSel(sel)
 			continue
 		}
-		if len(idx) == b.Len() {
-			return b, nil
+		if len(sel) == base.Len() {
+			storage.PutSel(sel)
+			return base, nil
 		}
-		return b.Gather(idx), nil
+		return base.WithSel(sel), nil
 	}
 }
 
@@ -167,12 +330,21 @@ func (p *Project) Names() []string { return p.names }
 // Kinds implements Operator.
 func (p *Project) Kinds() []storage.Kind { return p.kinds }
 
+// BatchHint implements BatchHinter.
+func (p *Project) BatchHint() int {
+	if h, ok := p.in.(BatchHinter); ok {
+		return h.BatchHint()
+	}
+	return 0
+}
+
 // Next implements Operator.
 func (p *Project) Next() (*storage.Batch, error) {
 	b, err := p.in.Next()
 	if err != nil || b == nil {
 		return nil, err
 	}
+	b = b.Materialize() // expressions evaluate positionally over contiguous columns
 	cols := make([]storage.Column, len(p.exprs))
 	for i, e := range p.exprs {
 		cols[i] = e.Eval(b)
@@ -207,6 +379,17 @@ func (u *UnionAll) Names() []string { return u.ins[0].Names() }
 
 // Kinds implements Operator.
 func (u *UnionAll) Kinds() []storage.Kind { return u.ins[0].Kinds() }
+
+// BatchHint implements BatchHinter.
+func (u *UnionAll) BatchHint() int {
+	n := 0
+	for _, in := range u.ins {
+		if h, ok := in.(BatchHinter); ok {
+			n += h.BatchHint()
+		}
+	}
+	return n
+}
 
 // Next implements Operator.
 func (u *UnionAll) Next() (*storage.Batch, error) {
@@ -266,6 +449,9 @@ func (s *IndexScan) Names() []string { return s.names }
 // Kinds implements Operator.
 func (s *IndexScan) Kinds() []storage.Kind { return s.kinds }
 
+// BatchHint implements BatchHinter.
+func (s *IndexScan) BatchHint() int { return 1 }
+
 // Next implements Operator.
 func (s *IndexScan) Next() (*storage.Batch, error) {
 	if s.done || len(s.rows) == 0 {
@@ -292,6 +478,14 @@ func (c *Counted) Names() []string { return c.in.Names() }
 
 // Kinds implements Operator.
 func (c *Counted) Kinds() []storage.Kind { return c.in.Kinds() }
+
+// BatchHint implements BatchHinter.
+func (c *Counted) BatchHint() int {
+	if h, ok := c.in.(BatchHinter); ok {
+		return h.BatchHint()
+	}
+	return 0
+}
 
 // Next implements Operator.
 func (c *Counted) Next() (*storage.Batch, error) {

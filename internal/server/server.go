@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -271,7 +272,13 @@ func jsonValue(c storage.Column, r int) any {
 	if tc, ok := c.(*storage.TimeColumn); ok {
 		return time.Unix(0, tc.Value(r)).UTC().Format("2006-01-02T15:04:05.000")
 	}
-	return storage.ValueAt(c, r)
+	v := storage.ValueAt(c, r)
+	// JSON has no NaN/Inf (an AVG over zero rows is NaN); encode null
+	// instead of failing the response mid-write.
+	if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+		return nil
+	}
+	return v
 }
 
 // StatsResponse is the GET /stats body.

@@ -1,14 +1,28 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // BatchSize is the default number of rows exchanged between operators.
 const BatchSize = 4096
 
 // Batch is a set of equally long columns: the unit of data flow between
 // physical operators.
+//
+// A batch may additionally carry a deferred selection vector: an
+// ascending list of surviving row indexes into the base columns. Such a
+// batch represents the selected rows without having copied them;
+// Len reports the selected count, and Materialize performs the deferred
+// Gather. Selection-aware operators (Filter, the specialized hash join
+// and group-by) take ownership of the vector with DetachSel, read the
+// base columns directly, and avoid the copy entirely. A batch carrying a selection is owned by its single
+// downstream consumer, which either materializes it or detaches the
+// vector; the vector is recycled into the selection pool at that point.
 type Batch struct {
 	Cols []Column
+	sel  []int32 // deferred selection; nil selects all rows
 }
 
 // NewBatch wraps columns into a batch, verifying equal lengths.
@@ -23,12 +37,78 @@ func NewBatch(cols ...Column) *Batch {
 	return b
 }
 
-// Len reports the number of rows, zero for an empty batch.
-func (b *Batch) Len() int {
+// WithSel returns a batch sharing b's columns with the given deferred
+// selection attached. b must not already carry a selection. The
+// returned batch takes ownership of sel.
+func (b *Batch) WithSel(sel []int32) *Batch {
+	if b.sel != nil {
+		panic("storage: WithSel on a batch already carrying a selection")
+	}
+	return &Batch{Cols: b.Cols, sel: sel}
+}
+
+// Sel returns the deferred selection vector, nil when the batch is
+// contiguous. Callers must not modify or retain it past the batch; to
+// consume it, use DetachSel.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// DetachSel strips and returns the deferred selection, transferring
+// ownership (and the duty to PutSel) to the caller; b must not be used
+// afterwards — use the returned base batch instead. b's own selection
+// reference is cleared, so a stray later use of b cannot reach the
+// detached (and possibly re-pooled) vector.
+func (b *Batch) DetachSel() (*Batch, []int32) {
+	sel := b.sel
+	if sel == nil {
+		return b, nil
+	}
+	b.sel = nil
+	return &Batch{Cols: b.Cols}, sel
+}
+
+// Materialize resolves a deferred selection by gathering the selected
+// rows, recycling the selection vector (and clearing b's reference to
+// it, so a stray second use of b cannot reach pooled memory).
+// Contiguous batches are returned unchanged. Because selections are
+// ascending subsets, a selection as long as the base is the identity
+// and resolves without copying.
+func (b *Batch) Materialize() *Batch {
+	if b.sel == nil {
+		return b
+	}
+	sel := b.sel
+	b.sel = nil
+	if len(sel) == b.baseLen() {
+		out := &Batch{Cols: b.Cols}
+		PutSel(sel)
+		return out
+	}
+	cols := make([]Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Gather(sel)
+	}
+	PutSel(sel)
+	return &Batch{Cols: cols}
+}
+
+// baseLen is the row count of the base columns, ignoring any selection.
+func (b *Batch) baseLen() int {
 	if b == nil || len(b.Cols) == 0 {
 		return 0
 	}
 	return b.Cols[0].Len()
+}
+
+// Len reports the number of rows — the selected count when a deferred
+// selection is attached — and zero for an empty batch.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.baseLen()
 }
 
 // Width reports the number of columns.
@@ -39,8 +119,10 @@ func (b *Batch) Width() int {
 	return len(b.Cols)
 }
 
-// Slice returns rows [lo, hi) of all columns, sharing storage.
+// Slice returns rows [lo, hi) of all columns, sharing storage. A
+// deferred selection is materialized first.
 func (b *Batch) Slice(lo, hi int) *Batch {
+	b = b.Materialize()
 	cols := make([]Column, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Slice(lo, hi)
@@ -48,8 +130,10 @@ func (b *Batch) Slice(lo, hi int) *Batch {
 	return &Batch{Cols: cols}
 }
 
-// Gather returns a new batch with the rows at idx, in order.
+// Gather returns a new batch with the rows at idx, in order. A deferred
+// selection is materialized first.
 func (b *Batch) Gather(idx []int32) *Batch {
+	b = b.Materialize()
 	cols := make([]Column, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Gather(idx)
@@ -68,25 +152,112 @@ func (b *Batch) MemSize() int64 {
 
 // Relation is a fully materialized sequence of batches with a fixed
 // width; the in-memory representation of a table column set or an
-// operator result.
+// operator result. Batches stored in a relation are always contiguous:
+// Append materializes any deferred selection.
 type Relation struct {
 	batches []*Batch
 	rows    int
+	// zones caches per-batch min/max bounds of the int64/time columns
+	// (small materialized aggregates), computed lazily on first use and
+	// shared by every scan of the relation. Relations follow a build
+	// phase (appends) then a read phase (scans); the pointer swap makes
+	// concurrent first readers race only on identical recomputation.
+	zones atomic.Pointer[[][]Zone]
+}
+
+// Zone is the [Min, Max] bound of one int64/time column over one batch.
+// Ok marks columns the bound applies to; other kinds carry Ok=false.
+type Zone struct {
+	Min, Max int64
+	Ok       bool
+}
+
+// Disjoint reports that no value in the zone can fall within [lo, hi]:
+// the batch-skipping test. An invalid zone is never disjoint.
+func (z Zone) Disjoint(lo, hi int64) bool {
+	return z.Ok && (z.Max < lo || z.Min > hi)
 }
 
 // NewRelation returns an empty relation.
 func NewRelation() *Relation { return &Relation{} }
 
-// Append adds a batch; empty batches are ignored.
+// NewRelationWithCap returns an empty relation pre-sized for about
+// nBatches appends, so draining a stream of known length does not
+// re-grow the batch slice.
+func NewRelationWithCap(nBatches int) *Relation {
+	if nBatches <= 0 {
+		return &Relation{}
+	}
+	return &Relation{batches: make([]*Batch, 0, nBatches)}
+}
+
+// Append adds a batch, materializing any deferred selection; empty
+// batches are ignored.
 func (r *Relation) Append(b *Batch) {
 	if b.Len() == 0 {
 		return
 	}
+	b = b.Materialize()
 	if len(r.batches) > 0 && r.batches[0].Width() != b.Width() {
 		panic(fmt.Sprintf("storage: relation width mismatch: %d vs %d", r.batches[0].Width(), b.Width()))
 	}
 	r.batches = append(r.batches, b)
 	r.rows += b.Len()
+}
+
+// Zone returns the cached min/max bound of column col over batch i,
+// computing the relation's zone maps on first use. Bounds exist for
+// int64 and time columns; other kinds return Ok=false.
+func (r *Relation) Zone(i, col int) Zone {
+	zp := r.zones.Load()
+	if zp == nil || len(*zp) != len(r.batches) {
+		z := computeZones(r.batches)
+		r.zones.Store(&z)
+		zp = &z
+	}
+	zs := (*zp)[i]
+	if col >= len(zs) {
+		return Zone{}
+	}
+	return zs[col]
+}
+
+// ColumnZone computes the min/max bound of an int64/time column; other
+// kinds (and empty columns) report Ok=false. It is the single bounds
+// routine behind both the relation's batch-level zone maps and the
+// index package's chunk-level zone maps.
+func ColumnZone(c Column) Zone {
+	switch c.Kind() {
+	case KindInt64, KindTime:
+	default:
+		return Zone{}
+	}
+	vals := Int64s(c)
+	if len(vals) == 0 {
+		return Zone{}
+	}
+	z := Zone{Min: vals[0], Max: vals[0], Ok: true}
+	for _, v := range vals[1:] {
+		if v < z.Min {
+			z.Min = v
+		}
+		if v > z.Max {
+			z.Max = v
+		}
+	}
+	return z
+}
+
+func computeZones(batches []*Batch) [][]Zone {
+	zones := make([][]Zone, len(batches))
+	for bi, b := range batches {
+		zs := make([]Zone, len(b.Cols))
+		for ci, c := range b.Cols {
+			zs[ci] = ColumnZone(c)
+		}
+		zones[bi] = zs
+	}
+	return zones
 }
 
 // Batches returns the underlying batches. Callers must not modify them.

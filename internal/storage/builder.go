@@ -14,8 +14,32 @@ type Builder interface {
 	// AppendFrom appends the i-th value of col, which must have the
 	// builder's kind.
 	AppendFrom(col Column, i int)
+	// AppendSel appends the rows of col named by the selection vector,
+	// in order. col must have the builder's kind. Typed builders
+	// implement it as one tight loop over the backing slice.
+	AppendSel(col Column, sel []int32)
 	// Finish returns the built column and resets the builder.
 	Finish() Column
+	// Reset re-arms the builder with fresh backing capacity after a
+	// Finish, reusing the builder value itself.
+	Reset(capacity int)
+}
+
+// appendSel bulk-appends the selected rows of src to dst: one capacity
+// check, then a tight index-write loop, matching Gather's speed.
+func appendSel[T int64 | float64 | bool](dst, src []T, sel []int32) []T {
+	n := len(dst)
+	need := n + len(sel)
+	if cap(dst) < need {
+		grown := make([]T, n, max(need, 2*cap(dst)))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	for k, i := range sel {
+		dst[n+k] = src[i]
+	}
+	return dst
 }
 
 // NewBuilder returns a builder for the given kind with capacity cap.
@@ -61,6 +85,14 @@ func (b *Int64Builder) AppendFrom(col Column, i int) {
 	b.vals = append(b.vals, col.(*Int64Column).vals[i])
 }
 
+// AppendSel implements Builder.
+func (b *Int64Builder) AppendSel(col Column, sel []int32) {
+	b.vals = appendSel(b.vals, col.(*Int64Column).vals, sel)
+}
+
+// Reset implements Builder.
+func (b *Int64Builder) Reset(capacity int) { b.vals = make([]int64, 0, capacity) }
+
 // Finish implements Builder.
 func (b *Int64Builder) Finish() Column {
 	c := &Int64Column{vals: b.vals}
@@ -92,6 +124,14 @@ func (b *TimeBuilder) AppendAny(v any) { b.vals = append(b.vals, v.(int64)) }
 func (b *TimeBuilder) AppendFrom(col Column, i int) {
 	b.vals = append(b.vals, col.(*TimeColumn).vals[i])
 }
+
+// AppendSel implements Builder.
+func (b *TimeBuilder) AppendSel(col Column, sel []int32) {
+	b.vals = appendSel(b.vals, col.(*TimeColumn).vals, sel)
+}
+
+// Reset implements Builder.
+func (b *TimeBuilder) Reset(capacity int) { b.vals = make([]int64, 0, capacity) }
 
 // Finish implements Builder.
 func (b *TimeBuilder) Finish() Column {
@@ -125,6 +165,14 @@ func (b *Float64Builder) AppendFrom(col Column, i int) {
 	b.vals = append(b.vals, col.(*Float64Column).vals[i])
 }
 
+// AppendSel implements Builder.
+func (b *Float64Builder) AppendSel(col Column, sel []int32) {
+	b.vals = appendSel(b.vals, col.(*Float64Column).vals, sel)
+}
+
+// Reset implements Builder.
+func (b *Float64Builder) Reset(capacity int) { b.vals = make([]float64, 0, capacity) }
+
 // Finish implements Builder.
 func (b *Float64Builder) Finish() Column {
 	c := &Float64Column{vals: b.vals}
@@ -156,6 +204,14 @@ func (b *BoolBuilder) AppendAny(v any) { b.vals = append(b.vals, v.(bool)) }
 func (b *BoolBuilder) AppendFrom(col Column, i int) {
 	b.vals = append(b.vals, col.(*BoolColumn).vals[i])
 }
+
+// AppendSel implements Builder.
+func (b *BoolBuilder) AppendSel(col Column, sel []int32) {
+	b.vals = appendSel(b.vals, col.(*BoolColumn).vals, sel)
+}
+
+// Reset implements Builder.
+func (b *BoolBuilder) Reset(capacity int) { b.vals = make([]bool, 0, capacity) }
 
 // Finish implements Builder.
 func (b *BoolBuilder) Finish() Column {
@@ -202,6 +258,21 @@ func (b *StringBuilder) AppendAny(v any) { b.Append(v.(string)) }
 // AppendFrom implements Builder.
 func (b *StringBuilder) AppendFrom(col Column, i int) {
 	b.Append(col.(*StringColumn).Value(i))
+}
+
+// AppendSel implements Builder.
+func (b *StringBuilder) AppendSel(col Column, sel []int32) {
+	sc := col.(*StringColumn)
+	for _, i := range sel {
+		b.Append(sc.Value(int(i)))
+	}
+}
+
+// Reset implements Builder.
+func (b *StringBuilder) Reset(capacity int) {
+	b.dict = nil
+	b.index = make(map[string]int32)
+	b.codes = make([]int32, 0, capacity)
 }
 
 // Finish implements Builder.

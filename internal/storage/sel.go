@@ -1,0 +1,69 @@
+package storage
+
+import "sync"
+
+// A selection vector is an ascending list of row indexes into the base
+// columns of a batch: the MonetDB/X100 representation of a filter
+// result. Operators pass selection vectors instead of eagerly gathering
+// surviving rows, deferring the copy until an operator truly needs
+// contiguous output (Batch.Materialize).
+//
+// Selection vectors are pooled: the filter/join hot path would
+// otherwise allocate one per batch per operator. Ownership is linear —
+// whoever detaches or consumes a vector returns it with PutSel; a
+// vector attached to a batch is returned by Materialize.
+
+// selPool recycles selection vectors (and the join's gather scratch,
+// which has the same shape); boxPool recycles the *[]int32 boxes that
+// carry them through the pool, so a Get/Put cycle allocates nothing in
+// steady state (a bare Put(&s) would heap-allocate the slice header).
+var (
+	selPool sync.Pool // holds *[]int32 with non-nil backing arrays
+	boxPool sync.Pool // holds empty *[]int32 boxes
+)
+
+// GetSel returns an empty selection vector with capacity for at least
+// capacity entries, drawn from the pool.
+func GetSel(capacity int) []int32 {
+	v := selPool.Get()
+	if v == nil {
+		if capacity < BatchSize {
+			capacity = BatchSize
+		}
+		return make([]int32, 0, capacity)
+	}
+	p := v.(*[]int32)
+	s := (*p)[:0]
+	*p = nil
+	boxPool.Put(p)
+	if cap(s) < capacity {
+		return make([]int32, 0, capacity)
+	}
+	return s
+}
+
+// PutSel returns a selection vector to the pool. Passing nil or a
+// zero-capacity slice is a no-op. The caller must not use s afterwards.
+func PutSel(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	var p *[]int32
+	if v := boxPool.Get(); v != nil {
+		p = v.(*[]int32)
+	} else {
+		p = new([]int32)
+	}
+	*p = s
+	selPool.Put(p)
+}
+
+// IdentitySel writes the identity selection [0, n) into a pooled
+// vector: every row selected, in order.
+func IdentitySel(n int) []int32 {
+	s := GetSel(n)
+	for i := 0; i < n; i++ {
+		s = append(s, int32(i))
+	}
+	return s
+}
