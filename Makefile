@@ -26,12 +26,15 @@ build:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-## bench-json refreshes BENCH_selection.json, the machine-readable
-## headline metrics (lazy T4 hot ms, lazy QPS at 1/16 clients, and
-## allocs/op of the filter/join/group-by microbenchmarks).
+## bench-json refreshes BENCH_parallel.json, the machine-readable
+## headline metrics (lazy T4 hot ms, lazy QPS at 1/4/16 clients with
+## scaling ratios, allocs/op of the filter/join/group-by
+## microbenchmarks, and the parallel-execution section: join/group-by
+## speedups at DOP = GOMAXPROCS). BENCH_selection.json is the frozen
+## pre-parallelism baseline — do not overwrite it.
 bench-json:
-	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_selection.json
-	@cat BENCH_selection.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_parallel.json
+	@cat BENCH_parallel.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

@@ -5,16 +5,20 @@
 //
 //	benchrunner -exp all -work /tmp/sommelier-exp
 //	benchrunner -exp fig7 -basedays 8 -samples 4000
-//	benchrunner -sf 1 -json BENCH_selection.json
+//	benchrunner -sf 1 -json BENCH_parallel.json
 //
 // Experiments: tableII, tableIII, fig6, fig7, fig8, fig9, ablations,
 // concurrency, all.
 //
 // With -json the runner instead collects the headline metrics (lazy T4
-// hot query time, lazy QPS at 1 and 16 clients, allocs/op of the
-// filter/join/group-by microbenchmarks) and writes them to the given
-// path as machine-readable JSON; `make bench-json` maintains the
-// checked-in BENCH_selection.json this way.
+// hot query time, lazy QPS at 1/4/16 clients with scaling ratios,
+// allocs/op of the filter/join/group-by microbenchmarks, and the
+// parallel section: GOMAXPROCS plus the join/group-by speedup at
+// DOP = GOMAXPROCS) and writes them to the given path as
+// machine-readable JSON. `make bench-json` maintains the checked-in
+// BENCH_parallel.json this way; BENCH_selection.json is the frozen
+// pre-parallelism baseline, kept so the perf trajectory accumulates
+// instead of being overwritten.
 package main
 
 import (

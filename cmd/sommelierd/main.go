@@ -15,6 +15,10 @@
 //	POST /query    {"sql": "SELECT ...", "timeout_ms": 5000}
 //	GET  /stats    server, cache and engine counters
 //	GET  /healthz  liveness probe
+//
+// With -pprof ADDR the standard net/http/pprof handlers are served on a
+// separate listener (GET /debug/pprof/), so CPU, heap, mutex and block
+// profiles can be captured from a running server.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,18 +54,32 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
 		cachePolicy = flag.String("cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
-		maxLoad     = flag.Int("max-parallel-load", 0, "parallel chunk ingestion bound per query (0 = all cores)")
+		maxPar      = flag.Int("max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
 		genDays     = flag.Int("gen-days", 2, "days of synthetic data when generating a demo repo")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if err := run(*addr, *dir, *approach, *workers, *queue, *timeout, *maxTimeout,
-		*cacheBytes, *cachePolicy, *maxLoad, *genDays); err != nil {
+		*cacheBytes, *cachePolicy, *maxPar, *genDays, *pprofAddr); err != nil {
 		log.Fatalf("sommelierd: %v", err)
 	}
 }
 
 func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout time.Duration,
-	cacheBytes int64, cachePolicy string, maxLoad, genDays int) error {
+	cacheBytes int64, cachePolicy string, maxPar, genDays int, pprofAddr string) error {
+	if pprofAddr != "" {
+		// Opt-in profiling endpoint on its own listener, so CPU and
+		// contention profiles can be captured from a production server
+		// without exposing pprof on the query port. The query mux is a
+		// dedicated ServeMux; the net/http/pprof handlers live only on
+		// the DefaultServeMux served here.
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	if dir == "" {
 		d, err := os.MkdirTemp("", "sommelierd-demo-")
 		if err != nil {
@@ -84,10 +103,10 @@ func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout tim
 
 	t0 := time.Now()
 	db, err := engine.Open(dir, engine.Config{
-		Approach:        registrar.Approach(approach),
-		CacheBytes:      cacheBytes,
-		CachePolicy:     policy,
-		MaxParallelLoad: maxLoad,
+		Approach:    registrar.Approach(approach),
+		CacheBytes:  cacheBytes,
+		CachePolicy: policy,
+		MaxParallel: maxPar,
 	})
 	if err != nil {
 		return err

@@ -7,8 +7,8 @@
 package cache
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,25 +38,36 @@ type entry struct {
 	id       int64
 	bytes    int64
 	loadCost time.Duration
-	hits     int64
-	lastUsed int64 // logical clock
-	elem     *list.Element
+	hits     atomic.Int64
+	lastUsed atomic.Int64 // logical clock
 }
 
 // Recycler is a byte-capacity bounded cache of chunk IDs. The chunk
 // payloads themselves live in the actual-data tables; the recycler
 // decides residency and invokes the eviction callback so the owner can
 // drop the column data.
+//
+// The residency check (Contains) is the per-chunk hot path of every
+// lazy query, so it never takes the exclusive lock: the entry map is
+// read under an RWMutex read lock, and hit/miss counters plus recency
+// (a logical clock stamped onto the entry) are plain atomics. Only
+// structural changes — admission, eviction, drops — serialize on the
+// write lock. Recency ordering lives in the per-entry timestamps
+// instead of a linked list, which an exclusive-locked move-to-front
+// would otherwise serialize; the eviction scan picks the minimum
+// timestamp, which is exactly the LRU victim.
 type Recycler struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int64
-	used     int64
+	used     int64 // guarded by mu (write lock)
 	policy   Policy
-	clock    int64
 	entries  map[int64]*entry
-	lru      *list.List // front = most recent
 	onEvict  func(chunkID int64)
-	stats    Stats
+
+	clock     atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // New creates a recycler with the given byte capacity and policy.
@@ -67,7 +78,6 @@ func New(capacity int64, policy Policy, onEvict func(int64)) *Recycler {
 		capacity: capacity,
 		policy:   policy,
 		entries:  make(map[int64]*entry),
-		lru:      list.New(),
 		onEvict:  onEvict,
 	}
 }
@@ -75,31 +85,29 @@ func New(capacity int64, policy Policy, onEvict func(int64)) *Recycler {
 // Contains reports residency and counts a hit or miss, refreshing
 // recency on hit. It is the cache-scan vs chunk-access decision point.
 func (r *Recycler) Contains(chunkID int64) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	e, ok := r.entries[chunkID]
+	r.mu.RUnlock()
 	if !ok {
-		r.stats.Misses++
+		r.misses.Add(1)
 		return false
 	}
-	r.stats.Hits++
+	r.hits.Add(1)
 	r.touch(e)
 	return true
 }
 
 // Peek reports residency without touching statistics or recency.
 func (r *Recycler) Peek(chunkID int64) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.entries[chunkID]
 	return ok
 }
 
 func (r *Recycler) touch(e *entry) {
-	r.clock++
-	e.lastUsed = r.clock
-	e.hits++
-	r.lru.MoveToFront(e.elem)
+	e.lastUsed.Store(r.clock.Add(1))
+	e.hits.Add(1)
 }
 
 // Admit registers a freshly loaded chunk, evicting as needed. It
@@ -122,9 +130,7 @@ func (r *Recycler) Admit(chunkID int64, bytes int64, loadCost time.Duration) boo
 		return true
 	}
 	e := &entry{id: chunkID, bytes: bytes, loadCost: loadCost}
-	r.clock++
-	e.lastUsed = r.clock
-	e.elem = r.lru.PushFront(e)
+	e.lastUsed.Store(r.clock.Add(1))
 	r.entries[chunkID] = e
 	r.used += bytes
 	r.evictOverflowLocked(chunkID)
@@ -141,7 +147,7 @@ func (r *Recycler) evictOverflowLocked(pinned int64) {
 			return
 		}
 		r.removeLocked(victim)
-		r.stats.Evictions++
+		r.evictions.Add(1)
 		if r.onEvict != nil {
 			r.onEvict(victim.id)
 		}
@@ -159,25 +165,35 @@ func (r *Recycler) victimLocked(pinned int64) *entry {
 			}
 			// Benefit of keeping: reload cost × observed reuse,
 			// per byte of capacity it occupies.
-			score := float64(e.loadCost) * float64(e.hits+1) / float64(e.bytes+1)
+			score := float64(e.loadCost) * float64(e.hits.Load()+1) / float64(e.bytes+1)
 			if worst == nil || score < worstScore {
 				worst, worstScore = e, score
 			}
 		}
 		return worst
-	default: // LRU
-		for el := r.lru.Back(); el != nil; el = el.Prev() {
-			e := el.Value.(*entry)
-			if e.id != pinned {
-				return e
+	// Both policies scan the entries for their victim: O(resident
+	// chunks) per eviction, under the write lock. That trades the old
+	// list's O(1) tail pop for a lock-free Contains — the right side of
+	// the bargain here, because evictions happen only on admissions
+	// that overflow capacity while Contains runs per chunk per query,
+	// and the entry count (whole cached chunks) stays in the thousands
+	// at most.
+	default: // LRU: the entry with the oldest recency stamp.
+		var oldest *entry
+		var oldestUsed int64
+		for _, e := range r.entries {
+			if e.id == pinned {
+				continue
+			}
+			if u := e.lastUsed.Load(); oldest == nil || u < oldestUsed {
+				oldest, oldestUsed = e, u
 			}
 		}
-		return nil
+		return oldest
 	}
 }
 
 func (r *Recycler) removeLocked(e *entry) {
-	r.lru.Remove(e.elem)
 	delete(r.entries, e.id)
 	r.used -= e.bytes
 }
@@ -217,17 +233,20 @@ func (r *Recycler) Clear() {
 
 // Stats returns a snapshot of the counters.
 func (r *Recycler) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.stats
-	s.BytesUsed = r.used
-	s.Chunks = len(r.entries)
-	return s
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Evictions: r.evictions.Load(),
+		BytesUsed: r.used,
+		Chunks:    len(r.entries),
+	}
 }
 
 // ResetStats zeroes the hit/miss/eviction counters.
 func (r *Recycler) ResetStats() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.stats = Stats{}
+	r.hits.Store(0)
+	r.misses.Store(0)
+	r.evictions.Store(0)
 }

@@ -33,9 +33,12 @@ type Config struct {
 	// CachePolicy selects the replacement policy (default LRU, as in
 	// the paper; CostAware is the "smarter caching" extension).
 	CachePolicy cache.Policy
-	// MaxParallelLoad bounds parallel chunk ingestion; 0 = all cores,
-	// 1 = serial (the parallelization ablation).
-	MaxParallelLoad int
+	// MaxParallel bounds per-query parallelism: chunk-ingestion fan-out
+	// and the degree of parallelism of query execution (morsel-parallel
+	// scans, join probes, partial aggregation). 0 = adaptive (GOMAXPROCS
+	// shared across in-flight queries), 1 = fully serial (the
+	// parallelization ablation), any other value is taken literally.
+	MaxParallel int
 }
 
 // DefaultCacheBytes is the recycler capacity when none is configured.
@@ -116,7 +119,7 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 			Catalog:     db.cat,
 			Mode:        exec.ModeLazy,
 			Loader:      repo,
-			MaxParallel: cfg.MaxParallelLoad,
+			MaxParallel: cfg.MaxParallel,
 			Recyclers:   map[string]*cache.Recycler{},
 		}
 		if db.recycler != nil {
@@ -131,7 +134,7 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		db.report.CSVBytes = csvBytes
 		db.report.Breakdown.MseedToCSV = toCSV
 		db.report.Breakdown.CSVToDB = toDB
-		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull}
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull, MaxParallel: cfg.MaxParallel}
 	case registrar.EagerPlain:
 		rows, dur, err := registrar.LoadAllPlain(db.cat, repo)
 		if err != nil {
@@ -139,7 +142,7 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		}
 		db.report.Rows = rows
 		db.report.Breakdown.MseedToDB = dur
-		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull}
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerFull, MaxParallel: cfg.MaxParallel}
 	case registrar.EagerIndex, registrar.EagerDMd:
 		rows, dur, err := registrar.LoadAllClustered(db.cat, repo)
 		if err != nil {
@@ -153,7 +156,7 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		}
 		db.indexes = ix
 		db.report.Breakdown.Indexing = ixDur
-		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerIndexed}
+		db.env = &exec.Env{Catalog: db.cat, Mode: exec.ModeEagerIndexed, MaxParallel: cfg.MaxParallel}
 		// Expose the hash indexes as index-scan access paths.
 		db.env.MetaIndexes = map[string][]exec.MetaIndex{
 			seismic.TableF: {

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sommelier/internal/cache"
@@ -85,15 +86,43 @@ type Env struct {
 	// MetaIndexes holds the index-scan accelerators per metadata
 	// table, built by the eager_index investment.
 	MetaIndexes map[string][]MetaIndex
-	// MaxParallel bounds concurrent chunk ingestion; 0 means
-	// GOMAXPROCS. 1 gives serial loading (the parallelization
-	// ablation).
+	// MaxParallel bounds per-query parallelism: concurrent chunk
+	// ingestion AND the degree of parallelism of stage-2 execution
+	// (morsel-parallel scans, probes and partial aggregation). 0 means
+	// adaptive: GOMAXPROCS shared evenly across the queries in flight,
+	// so a lone query uses every core while a 16-client burst degrades
+	// to one core per query instead of thrashing 16×GOMAXPROCS
+	// goroutines. 1 gives fully serial execution (the parallelization
+	// ablation); any other value is taken literally per query.
 	MaxParallel int
 
 	// flights deduplicates concurrent ingestions of the same missing
 	// chunk across every query executing in this environment, keyed by
 	// (table, chunkID).
 	flights flightGroup
+	// inflight counts queries currently executing, for the adaptive
+	// degree-of-parallelism split.
+	inflight atomic.Int32
+}
+
+// dop resolves the effective per-query degree of parallelism given the
+// current in-flight query count.
+func (env *Env) dop() int {
+	if env.MaxParallel == 1 {
+		return 1
+	}
+	limit := env.MaxParallel
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+		inflight := int(env.inflight.Load())
+		if inflight > 1 {
+			limit /= inflight
+		}
+	}
+	if limit < 1 {
+		return 1
+	}
+	return limit
 }
 
 // Stats reports what one query execution did.
@@ -203,6 +232,10 @@ type executor struct {
 	// admission cannot evict a chunk the in-flight query still needs.
 	loaded []loadedChunk
 
+	// par is the query's effective degree of parallelism, fixed at the
+	// start of run from the environment's adaptive split.
+	par int
+
 	// stats and trace are confined to the query's own goroutine: the
 	// ingestion workers communicate through the per-chunk results slice
 	// joined before any counter is updated, so accumulation is
@@ -225,6 +258,17 @@ type pinnedChunk struct {
 func (ex *executor) run() (*Result, error) {
 	if ex.ctx == nil {
 		ex.ctx = context.Background()
+	}
+	ex.env.inflight.Add(1)
+	defer ex.env.inflight.Add(-1)
+	ex.par = ex.env.dop()
+	if ex.trace != nil {
+		// Traced execution stays serial so per-operator row counts are
+		// exact without atomics on the hot path. The Counted wrappers
+		// also make every input non-splittable, so aggregates whole-fold
+		// here: EXPLAIN ANALYZE float results may differ from untraced
+		// runs in final rounding.
+		ex.par = 1
 	}
 	// However the query ends, offer its loads to the recyclers and
 	// release every pin (the deferred release also covers error paths,
@@ -295,9 +339,13 @@ func (ex *executor) run() (*Result, error) {
 }
 
 // drain pulls an operator to completion through the shared coalescing
-// drain (physical.Drain), checking for cancellation between batches.
+// drain, checking for cancellation between batches. With a degree of
+// parallelism above one the drain splits the operator's morsels across
+// a worker pool (physical.ParallelDrain), each worker coalescing into
+// its own output relation; the reassembled result holds the serial
+// result's rows in the serial order.
 func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
-	return physical.Drain(op, ex.ctx.Err)
+	return physical.ParallelDrain(op, ex.par, ex.ctx.Err)
 }
 
 // selectChunks extracts, per actual-data table, the distinct chunk IDs
@@ -394,8 +442,8 @@ func chunkHash(id int64) uint64 {
 // this query. Resident chunks are pinned on the spot; missing chunks
 // are loaded in parallel (the paper's static parallelization: the
 // degree of parallelism is the number of selected chunks, bounded by
-// the configured maximum), with concurrent queries selecting the same
-// chunk sharing one load through the environment's flight group.
+// the query's effective DOP), with concurrent queries selecting the
+// same chunk sharing one load through the environment's flight group.
 func (ex *executor) ingestSelected() error {
 	if ex.env.Loader == nil {
 		return fmt.Errorf("exec: lazy mode requires a chunk loader")
@@ -423,9 +471,12 @@ func (ex *executor) ingestSelected() error {
 		if len(missing) == 0 {
 			continue
 		}
-		par := ex.env.MaxParallel
-		if par <= 0 {
-			par = runtime.GOMAXPROCS(0)
+		// The ingestion fan-out is the query's effective DOP — the same
+		// adaptive split as stage-2 execution, so a 16-client cold burst
+		// does not spawn 16×GOMAXPROCS decode goroutines.
+		par := ex.par
+		if par < 1 {
+			par = 1
 		}
 		if par > len(missing) {
 			par = len(missing)
@@ -565,8 +616,16 @@ func (ex *executor) release() {
 // materialized stage-one result.
 func (ex *executor) build(n plan.Node, inStage1 bool) (physical.Operator, error) {
 	op, err := ex.buildInner(n, inStage1)
-	if err != nil || ex.trace == nil {
+	if err != nil {
 		return op, err
+	}
+	// Grant the query's degree of parallelism to operators that
+	// materialize an input internally (join build, aggregation, sort).
+	if ph, ok := op.(physical.ParallelHinter); ok {
+		ph.SetParallel(ex.par)
+	}
+	if ex.trace == nil {
+		return op, nil
 	}
 	return physical.NewCounted(op, ex.trace.counter(n, inStage1)), nil
 }
@@ -707,21 +766,19 @@ func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 	if len(ids) == 0 {
 		return physical.NewEmpty(names, kinds), nil
 	}
-	ops := make([]physical.Operator, 0, len(ids))
+	rels := make([]*storage.Relation, 0, len(ids))
 	for _, id := range ids {
 		rel, resident := t.Chunk(id)
 		if !resident {
 			return nil, fmt.Errorf("exec: chunk %d of %s not resident at stage two", id, n.Table)
 		}
-		// cache-scan / chunk-access branch with the selection pushed
-		// down (NewRelScan clones and binds the predicate).
-		op, err := physical.NewRelScan(rel, names, kinds, n.Filter)
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, op)
+		rels = append(rels, rel)
 	}
-	return physical.NewUnionAll(ops...)
+	// The union of cache-scans and chunk-accesses over the selected
+	// chunks, collapsed into one scan whose batch list doubles as the
+	// morsel list of parallel execution; the selection is pushed down
+	// (NewMultiRelScan clones and binds the predicate).
+	return physical.NewMultiRelScan(rels, names, kinds, n.Filter)
 }
 
 // tryIndexScan serves a metadata scan through a hash index when the

@@ -33,7 +33,7 @@ func AblationParallelLoad(cfg Config) ([]ParallelLoadRow, error) {
 	sql := queryT4("FIAM", start, end)
 	var rows []ParallelLoadRow
 	for _, par := range []int{1, 0} {
-		db, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy, MaxParallelLoad: par})
+		db, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy, MaxParallel: par})
 		if err != nil {
 			return nil, err
 		}

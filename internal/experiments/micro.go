@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -74,8 +75,13 @@ func FilterMicro() MicroResult {
 }
 
 // JoinMicro measures a dimension-fact hash join probe: the specialized
-// single-int64-key path.
-func JoinMicro() MicroResult {
+// single-int64-key path, serially.
+func JoinMicro() MicroResult { return JoinMicroAt(1) }
+
+// JoinMicroAt measures the join probe at the given degree of
+// parallelism: dop > 1 drains the join through the morsel-parallel
+// pipeline (split probes over the shared build table).
+func JoinMicroAt(dop int) MicroResult {
 	dimRel := storage.NewRelation()
 	ids := make([]int64, 64)
 	for i := range ids {
@@ -98,7 +104,8 @@ func JoinMicro() MicroResult {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := physical.Run(j); err != nil {
+			j.SetParallel(dop)
+			if _, err := physical.ParallelDrain(j, dop, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -106,8 +113,13 @@ func JoinMicro() MicroResult {
 }
 
 // GroupByMicro measures a grouped aggregation: the specialized
-// single-int64-key group-by path.
-func GroupByMicro() MicroResult {
+// single-int64-key group-by path, serially.
+func GroupByMicro() MicroResult { return GroupByMicroAt(1) }
+
+// GroupByMicroAt measures the grouped aggregation at the given degree
+// of parallelism: dop > 1 folds thread-local partial aggregates over
+// the scan's morsel ranges and merges them at the end.
+func GroupByMicroAt(dop int) MicroResult {
 	rel, names, kinds := microRel(1 << 16)
 	return microResult(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -123,6 +135,7 @@ func GroupByMicro() MicroResult {
 			if err != nil {
 				b.Fatal(err)
 			}
+			agg.SetParallel(dop)
 			if _, err := physical.Run(agg); err != nil {
 				b.Fatal(err)
 			}
@@ -141,6 +154,25 @@ type Headline struct {
 	LazyQPS16     float64                `json:"lazy_qps_16clients"`
 	LazyScaling16 float64                `json:"lazy_scaling_16_over_1"`
 	Micro         map[string]MicroResult `json:"micro"`
+	Parallel      *ParallelMetrics       `json:"parallel,omitempty"`
+}
+
+// ParallelMetrics is the parallel-execution section of the headline
+// dump (written to BENCH_parallel.json by `make bench-json`, so the
+// selection-era numbers in BENCH_selection.json stay as the historical
+// baseline): cross-query scaling of the lazy service at 1/4/16 clients
+// and intra-query speedup of the join/group-by microbenchmarks at
+// DOP = GOMAXPROCS. On a single-core host the speedups hover around
+// 1.0 — the numbers are only meaningful at GOMAXPROCS ≥ 2.
+type ParallelMetrics struct {
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	LazyQPS1       float64 `json:"lazy_qps_1client"`
+	LazyQPS4       float64 `json:"lazy_qps_4clients"`
+	LazyQPS16      float64 `json:"lazy_qps_16clients"`
+	Scaling4       float64 `json:"lazy_scaling_4_over_1"`
+	Scaling16      float64 `json:"lazy_scaling_16_over_1"`
+	JoinSpeedup    float64 `json:"join_parallel_speedup"`
+	GroupBySpeedup float64 `json:"groupby_parallel_speedup"`
 }
 
 // CollectHeadline runs the headline experiments (Fig. 7 single-query
@@ -170,19 +202,37 @@ func CollectHeadline(cfg Config) (*Headline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("headline concurrency: %w", err)
 	}
+	par := &ParallelMetrics{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, r := range conc {
 		if r.Approach == "lazy" {
 			switch r.Clients {
 			case 1:
 				h.LazyQPS1 = r.QPS
+				par.LazyQPS1 = r.QPS
+			case 4:
+				par.LazyQPS4 = r.QPS
 			case 16:
 				h.LazyQPS16 = r.QPS
+				par.LazyQPS16 = r.QPS
 			}
 		}
 	}
 	if h.LazyQPS1 > 0 {
 		h.LazyScaling16 = h.LazyQPS16 / h.LazyQPS1
+		par.Scaling4 = par.LazyQPS4 / par.LazyQPS1
+		par.Scaling16 = par.LazyQPS16 / par.LazyQPS1
 	}
+	if dop := par.GOMAXPROCS; dop > 1 {
+		if pj := JoinMicroAt(dop); pj.NsPerOp > 0 {
+			par.JoinSpeedup = h.Micro["join"].NsPerOp / pj.NsPerOp
+		}
+		if pg := GroupByMicroAt(dop); pg.NsPerOp > 0 {
+			par.GroupBySpeedup = h.Micro["groupby"].NsPerOp / pg.NsPerOp
+		}
+	} else {
+		par.JoinSpeedup, par.GroupBySpeedup = 1, 1
+	}
+	h.Parallel = par
 	return h, nil
 }
 

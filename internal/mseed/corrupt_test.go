@@ -1,0 +1,34 @@
+package mseed
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadBytesCorruptionSafety flips every byte of a valid chunk, one
+// at a time, and requires ReadBytes to either fail with an error or
+// succeed — never panic and never balloon allocations from corrupt
+// header counts. Chunk loads run inside server query goroutines, so a
+// decoding panic on one rotten file would take down the whole process.
+func TestReadBytesCorruptionSafety(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, benchFile(500)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBytes(append([]byte(nil), data...)); err != nil {
+		t.Fatalf("clean chunk must parse: %v", err)
+	}
+	for off := 0; off < len(data); off++ {
+		c := append([]byte(nil), data...)
+		c[off] ^= 0x80
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic with byte %d corrupted: %v", off, r)
+				}
+			}()
+			ReadBytes(c)
+		}()
+	}
+}

@@ -181,38 +181,49 @@ func EncodeSamples(enc Encoding, samples []int32) ([]byte, error) {
 
 // DecodeSamples decompresses a sample payload.
 func DecodeSamples(enc Encoding, payload []byte, count int) ([]int32, error) {
+	out := make([]int32, count)
+	if err := DecodeSamplesInto(enc, payload, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeSamplesInto decompresses a sample payload into out, which must
+// hold exactly the segment header's sample count. It lets a chunk
+// reader decode every segment into slices of one pre-sized arena
+// instead of allocating per segment.
+func DecodeSamplesInto(enc Encoding, payload []byte, out []int32) error {
+	count := len(out)
 	switch enc {
 	case EncodingDeltaVarint:
-		out := make([]int32, count)
 		var prev int64
 		pos := 0
 		for i := 0; i < count; i++ {
 			u, n := binary.Uvarint(payload[pos:])
 			if n <= 0 {
-				return nil, fmt.Errorf("mseed: truncated sample payload at sample %d", i)
+				return fmt.Errorf("mseed: truncated sample payload at sample %d", i)
 			}
 			pos += n
 			prev += unzigzag(u)
 			if prev > math.MaxInt32 || prev < math.MinInt32 {
-				return nil, fmt.Errorf("mseed: sample %d out of int32 range", i)
+				return fmt.Errorf("mseed: sample %d out of int32 range", i)
 			}
 			out[i] = int32(prev)
 		}
 		if pos != len(payload) {
-			return nil, fmt.Errorf("mseed: %d trailing bytes in sample payload", len(payload)-pos)
+			return fmt.Errorf("mseed: %d trailing bytes in sample payload", len(payload)-pos)
 		}
-		return out, nil
+		return nil
 	case EncodingRaw:
 		if len(payload) != count*4 {
-			return nil, fmt.Errorf("mseed: raw payload length %d, want %d", len(payload), count*4)
+			return fmt.Errorf("mseed: raw payload length %d, want %d", len(payload), count*4)
 		}
-		out := make([]int32, count)
 		for i := range out {
 			out[i] = int32(binary.LittleEndian.Uint32(payload[i*4:]))
 		}
-		return out, nil
+		return nil
 	default:
-		return nil, fmt.Errorf("mseed: unknown encoding %d", enc)
+		return fmt.Errorf("mseed: unknown encoding %d", enc)
 	}
 }
 

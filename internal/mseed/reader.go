@@ -2,6 +2,8 @@ package mseed
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -19,7 +21,7 @@ func ReadMetadata(r io.Reader) (FileHeader, []SegmentHeader, error) {
 	if err != nil {
 		return FileHeader{}, nil, err
 	}
-	segs := make([]SegmentHeader, 0, nseg)
+	segs := make([]SegmentHeader, 0, min(nseg, 4096)) // capacity hint; corrupt counts must not pre-allocate
 	for i := 0; i < nseg; i++ {
 		sh, err := readSegmentHeader(br)
 		if err != nil {
@@ -35,32 +37,118 @@ func ReadMetadata(r io.Reader) (FileHeader, []SegmentHeader, error) {
 
 // Read fully decodes a chunk file: the chunk-access operation. Payload
 // checksums are verified.
+//
+// The stream is buffered whole and decoded in two passes: the first
+// walks only the segment headers (skipping payloads by their recorded
+// lengths) to sum the chunk's sample count, the second decodes each
+// payload into a slice of one pre-sized sample arena. Cold loads thus
+// perform a constant number of allocations — the file buffer, the
+// arena, the segment slice — instead of two per segment, and payloads
+// are checksummed in place without ever being copied.
 func Read(r io.Reader) (*File, error) {
-	br := bufio.NewReader(r)
+	var data []byte
+	if l, ok := r.(interface{ Len() int }); ok {
+		// In-memory readers (bytes.Reader, bytes.Buffer) report their
+		// remaining length: buffer in one exactly-sized allocation.
+		data = make([]byte, l.Len())
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		data, err = io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ReadBytes(data)
+}
+
+// ReadBytes decodes a chunk already resident in memory. The returned
+// segments' sample slices share one backing arena sized from the
+// segment headers; retaining any one of them retains the whole chunk's
+// samples (callers transform them into columns anyway).
+func ReadBytes(data []byte) (*File, error) {
+	// The variable-width file header has exactly one decoder, the
+	// streaming one; the consumed prefix length is recovered from the
+	// readers' positions.
+	under := bytes.NewReader(data)
+	br := bufio.NewReader(under)
 	hdr, nseg, err := readFileHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	f := &File{Header: hdr, Segments: make([]Segment, 0, nseg)}
+	pos := len(data) - under.Len() - br.Buffered()
+	// Every segment occupies at least a header's worth of bytes, so a
+	// corrupt count cannot demand more header slots than the file holds.
+	if nseg < 0 || nseg > (len(data)-pos)/segmentHeaderLen {
+		return nil, fmt.Errorf("mseed: %d segments in %d bytes (corrupt chunk)", nseg, len(data))
+	}
+	// Pass one: segment headers only, to size the sample arena.
+	heads := make([]SegmentHeader, nseg)
+	total := 0
+	p := pos
 	for i := 0; i < nseg; i++ {
-		sh, err := readSegmentHeader(br)
+		sh, n, err := parseSegmentHeader(data[p:])
 		if err != nil {
 			return nil, fmt.Errorf("mseed: segment %d: %w", i, err)
 		}
-		payload := make([]byte, sh.payloadLen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, fmt.Errorf("mseed: segment %d: truncated payload: %w", i, err)
+		p += n
+		if sh.payloadLen < 0 || sh.SampleCount < 0 {
+			return nil, fmt.Errorf("mseed: segment %d: negative length (corrupt chunk)", i)
 		}
+		// Both encodings spend at least one payload byte per sample, so
+		// a corrupt header cannot demand an arena larger than the file.
+		if sh.SampleCount > sh.payloadLen {
+			return nil, fmt.Errorf("mseed: segment %d: %d samples in %d payload bytes (corrupt chunk)",
+				i, sh.SampleCount, sh.payloadLen)
+		}
+		if int(sh.payloadLen) > len(data)-p {
+			return nil, fmt.Errorf("mseed: segment %d: truncated payload: %w", i, io.ErrUnexpectedEOF)
+		}
+		p += int(sh.payloadLen)
+		heads[i] = sh
+		total += int(sh.SampleCount)
+	}
+	// Pass two: verify and decode each payload into its arena slice.
+	arena := make([]int32, total)
+	f := &File{Header: hdr, Segments: make([]Segment, nseg)}
+	p, off := pos, 0
+	for i, sh := range heads {
+		p += segmentHeaderLen
+		payload := data[p : p+int(sh.payloadLen)]
+		p += int(sh.payloadLen)
 		if got := crc32.Checksum(payload, crcTable); got != sh.crc {
 			return nil, fmt.Errorf("mseed: segment %d: checksum mismatch (corrupt chunk)", i)
 		}
-		samples, err := DecodeSamples(hdr.Encoding, payload, int(sh.SampleCount))
-		if err != nil {
+		samples := arena[off : off+int(sh.SampleCount) : off+int(sh.SampleCount)]
+		off += int(sh.SampleCount)
+		if err := DecodeSamplesInto(hdr.Encoding, payload, samples); err != nil {
 			return nil, fmt.Errorf("mseed: segment %d: %w", i, err)
 		}
-		f.Segments = append(f.Segments, Segment{Header: sh, Samples: samples})
+		f.Segments[i] = Segment{Header: sh, Samples: samples}
 	}
 	return f, nil
+}
+
+// segmentHeaderLen is the fixed on-disk size of a segment header.
+const segmentHeaderLen = 4 + 8 + 8 + 4 + 4 + 4
+
+// parseSegmentHeader decodes one segment header, returning its encoded
+// length. It is the single decoder of the segment wire format: the
+// streaming readSegmentHeader feeds it too.
+func parseSegmentHeader(data []byte) (SegmentHeader, int, error) {
+	if len(data) < segmentHeaderLen {
+		return SegmentHeader{}, 0, io.ErrUnexpectedEOF
+	}
+	var sh SegmentHeader
+	sh.ID = int32(binary.LittleEndian.Uint32(data))
+	sh.StartTime = int64(binary.LittleEndian.Uint64(data[4:]))
+	sh.SampleRate = float64(binary.LittleEndian.Uint64(data[12:])) / 1e6
+	sh.SampleCount = int32(binary.LittleEndian.Uint32(data[20:]))
+	sh.payloadLen = int32(binary.LittleEndian.Uint32(data[24:]))
+	sh.crc = binary.LittleEndian.Uint32(data[28:])
+	return sh, segmentHeaderLen, nil
 }
 
 func readFileHeader(br *bufio.Reader) (FileHeader, int, error) {
@@ -99,38 +187,12 @@ func readFileHeader(br *bufio.Reader) (FileHeader, int, error) {
 }
 
 func readSegmentHeader(br *bufio.Reader) (SegmentHeader, error) {
-	var sh SegmentHeader
-	id, err := readU32(br)
-	if err != nil {
-		return sh, err
+	var buf [segmentHeaderLen]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return SegmentHeader{}, err
 	}
-	sh.ID = int32(id)
-	st, err := readU64(br)
-	if err != nil {
-		return sh, err
-	}
-	sh.StartTime = int64(st)
-	rate, err := readU64(br)
-	if err != nil {
-		return sh, err
-	}
-	sh.SampleRate = float64(rate) / 1e6
-	cnt, err := readU32(br)
-	if err != nil {
-		return sh, err
-	}
-	sh.SampleCount = int32(cnt)
-	plen, err := readU32(br)
-	if err != nil {
-		return sh, err
-	}
-	sh.payloadLen = int32(plen)
-	crc, err := readU32(br)
-	if err != nil {
-		return sh, err
-	}
-	sh.crc = crc
-	return sh, nil
+	sh, _, err := parseSegmentHeader(buf[:])
+	return sh, err
 }
 
 // ReadMetadataFile extracts metadata from the chunk at path.
@@ -143,12 +205,12 @@ func ReadMetadataFile(path string) (FileHeader, []SegmentHeader, error) {
 	return ReadMetadata(f)
 }
 
-// ReadChunkFile fully decodes the chunk at path.
+// ReadChunkFile fully decodes the chunk at path. The file is read in
+// one exactly-sized allocation and decoded in place (ReadBytes).
 func ReadChunkFile(path string) (*File, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	return ReadBytes(data)
 }

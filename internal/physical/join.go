@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"sync"
 
 	"sommelier/internal/index"
 	"sommelier/internal/storage"
@@ -19,6 +20,13 @@ import (
 // dispatch. Probing also composes with a deferred selection on the
 // probe batch, so a filter below the join never gathers. Composite keys
 // keep the general index.Key path.
+//
+// Under a degree of parallelism (SetParallel), a large fast-path build
+// is partitioned: the key column is sharded by hash across per-worker
+// maps built concurrently, and probes address the owning shard — no
+// merge step, no write sharing. The probe side parallelizes through
+// Split: each returned operator probes its own share of the right
+// input's morsels against the shared read-only table.
 type HashJoin struct {
 	left, right   Operator
 	leftK, rightK []int
@@ -27,12 +35,22 @@ type HashJoin struct {
 	// fastKey marks the specialized single-int64/time key path;
 	// differential tests clear it to force the composite path.
 	fastKey bool
+	// dop is the parallelism granted by the executor for the build.
+	dop int
 
 	built     bool
 	buildData *storage.Batch
 	table     map[index.Key][]int32
 	intTable  map[int64][]int32
+	// shards replace intTable after a partitioned parallel build:
+	// shard i holds the keys whose hash lands in partition i.
+	shards    []map[int64][]int32
+	shardMask uint64
 }
+
+// SetParallel implements ParallelHinter: it grants the build phase up
+// to dop workers. It must be called before the first Next or Split.
+func (j *HashJoin) SetParallel(dop int) { j.dop = dop }
 
 // NewHashJoin joins left and right on pairwise-equal key columns given
 // as column positions.
@@ -73,18 +91,26 @@ func (j *HashJoin) Names() []string { return j.names }
 // Kinds implements Operator.
 func (j *HashJoin) Kinds() []storage.Kind { return j.kinds }
 
+// parallelBuildMin is the build cardinality below which a partitioned
+// build is not worth its per-shard scan of the key column.
+const parallelBuildMin = 1 << 13
+
 func (j *HashJoin) build() error {
-	rel, err := Run(j.left)
+	rel, err := ParallelDrain(j.left, j.dop, nil)
 	if err != nil {
 		return err
 	}
 	j.buildData = rel.Flatten()
 	n := j.buildData.Len()
 	if j.fastKey {
-		j.intTable = make(map[int64][]int32, n)
-		if n > 0 {
-			for r, v := range storage.Int64s(j.buildData.Cols[j.leftK[0]]) {
-				j.intTable[v] = append(j.intTable[v], int32(r))
+		if n > 0 && j.dop > 1 && n >= parallelBuildMin {
+			j.buildPartitioned(storage.Int64s(j.buildData.Cols[j.leftK[0]]))
+		} else {
+			j.intTable = make(map[int64][]int32, n)
+			if n > 0 {
+				for r, v := range storage.Int64s(j.buildData.Cols[j.leftK[0]]) {
+					j.intTable[v] = append(j.intTable[v], int32(r))
+				}
 			}
 		}
 		j.built = true
@@ -102,8 +128,64 @@ func (j *HashJoin) build() error {
 	return nil
 }
 
+// buildPartitioned builds the fast-path table as hash-partitioned
+// shards: each shard's builder scans the full key slice but inserts
+// only its own partition, so no lock and no merge is needed, and
+// probes stay one shard lookup away. Workers are capped at the granted
+// DOP (each handling shards w, w+dop, …), so the build never
+// oversubscribes the adaptive per-query budget; total scan work is
+// shards×n with shards < 2×DOP — about two passes per core, the price
+// of skipping a partition-then-merge phase on a build side that is
+// small relative to the probe side.
+func (j *HashJoin) buildPartitioned(keys []int64) {
+	shards := 1
+	for shards < j.dop {
+		shards <<= 1
+	}
+	j.shards = make([]map[int64][]int32, shards)
+	j.shardMask = uint64(shards - 1)
+	workers := j.dop
+	if workers > shards {
+		workers = shards
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < shards; s += workers {
+				m := make(map[int64][]int32, len(keys)/shards+1)
+				for r, v := range keys {
+					if hash64(v)&j.shardMask == uint64(s) {
+						m[v] = append(m[v], int32(r))
+					}
+				}
+				j.shards[s] = m
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// lookupInt resolves a fast-path key against whichever table layout the
+// build produced.
+func (j *HashJoin) lookupInt(k int64) []int32 {
+	if j.shards != nil {
+		return j.shards[hash64(k)&j.shardMask][k]
+	}
+	return j.intTable[k]
+}
+
 func (j *HashJoin) tableEmpty() bool {
 	if j.fastKey {
+		if j.shards != nil {
+			for _, m := range j.shards {
+				if len(m) > 0 {
+					return false
+				}
+			}
+			return true
+		}
 		return len(j.intTable) == 0
 	}
 	return len(j.table) == 0
@@ -119,8 +201,40 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 	if j.tableEmpty() {
 		return nil, nil
 	}
+	return j.probeFrom(j.right)
+}
+
+// Split implements Splitter: when the probe side can partition its
+// morsels, the build runs once (partitioned across the granted workers
+// when large) and each returned operator probes one share of the right
+// input against the shared read-only table.
+func (j *HashJoin) Split(n int) ([]Operator, error) {
+	sp, ok := j.right.(Splitter)
+	if !ok {
+		return nil, nil
+	}
+	rights, err := sp.Split(n)
+	if err != nil || rights == nil {
+		return nil, err
+	}
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Operator, len(rights))
+	for i, r := range rights {
+		out[i] = &hashJoinProbe{j: j, right: r}
+	}
+	return out, nil
+}
+
+// probeFrom probes batches pulled from right against the build table.
+// It reads only immutable post-build state, so any number of probes may
+// run concurrently over disjoint right streams.
+func (j *HashJoin) probeFrom(right Operator) (*storage.Batch, error) {
 	for {
-		rb, err := j.right.Next()
+		rb, err := right.Next()
 		if err != nil || rb == nil {
 			return nil, err
 		}
@@ -133,7 +247,7 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 			keys := storage.Int64s(base.Cols[j.rightK[0]])
 			if sel != nil {
 				for _, r := range sel {
-					for _, lr := range j.intTable[keys[r]] {
+					for _, lr := range j.lookupInt(keys[r]) {
 						leftIdx = append(leftIdx, lr)
 						rightIdx = append(rightIdx, r)
 					}
@@ -141,7 +255,7 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 				storage.PutSel(sel)
 			} else {
 				for r, k := range keys {
-					for _, lr := range j.intTable[k] {
+					for _, lr := range j.lookupInt(k) {
 						leftIdx = append(leftIdx, lr)
 						rightIdx = append(rightIdx, int32(r))
 					}
@@ -174,6 +288,27 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 		storage.PutSel(rightIdx)
 		return storage.NewBatch(append(append([]storage.Column{}, lcols.Cols...), rcols.Cols...)...), nil
 	}
+}
+
+// hashJoinProbe is one partition of a split hash join: it probes its
+// own right-side share against the parent's shared build table.
+type hashJoinProbe struct {
+	j     *HashJoin
+	right Operator
+}
+
+// Names implements Operator.
+func (p *hashJoinProbe) Names() []string { return p.j.names }
+
+// Kinds implements Operator.
+func (p *hashJoinProbe) Kinds() []storage.Kind { return p.j.kinds }
+
+// Next implements Operator.
+func (p *hashJoinProbe) Next() (*storage.Batch, error) {
+	if p.j.tableEmpty() {
+		return nil, nil
+	}
+	return p.j.probeFrom(p.right)
 }
 
 // CrossJoin produces the Cartesian product of its inputs; the planner

@@ -14,6 +14,7 @@ package physical
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"sommelier/internal/expr"
 	"sommelier/internal/index"
@@ -87,24 +88,36 @@ func NewOutputRelation(op Operator) *storage.Relation {
 	return storage.NewRelation()
 }
 
-// RelScan streams a materialized relation, optionally filtering it. It
-// implements the scan, result-scan and cache-scan access paths.
+// RelScan streams one or more materialized relations, optionally
+// filtering them. It implements the scan, result-scan and cache-scan
+// access paths; a scan over several relations is the union of
+// cache-scans and chunk-accesses over a query's selected chunks
+// (rewrite rule (1)) collapsed into one operator, whose batch list is
+// the morsel list of parallel execution.
 //
 // A predicate is evaluated through the fused selection-vector kernels
 // (expr.EvalSel): surviving rows travel as a deferred selection on the
 // emitted batch instead of being gathered eagerly. Column-vs-constant
-// range conjuncts are additionally checked against the relation's
-// per-batch zone maps, so wholly-out-of-range batches are skipped
-// without touching a single value.
+// range conjuncts are additionally checked against the owning
+// relation's per-batch zone maps, so wholly-out-of-range batches are
+// skipped without touching a single value.
 type RelScan struct {
 	names   []string
 	kinds   []storage.Kind
 	pred    expr.Expr
-	rel     *storage.Relation
-	splits  []*storage.Batch
+	morsels []scanMorsel
 	bounds  []zoneBound
 	pos     int
-	skipped int
+	// skipped counts zone-pruned batches; shared by the range scans a
+	// Split produces, so the parent's Skipped sees the whole scan.
+	skipped *atomic.Int64
+}
+
+// scanMorsel is one batch of one relation: the unit of work parallel
+// scans dispatch to workers.
+type scanMorsel struct {
+	rel *storage.Relation
+	idx int
 }
 
 // zoneBound is a necessary [Lo, Hi] condition on one int64/time column,
@@ -118,7 +131,19 @@ type zoneBound struct {
 // NewRelScan builds a scan over rel. If pred is non-nil it is bound
 // against the schema and applied per batch.
 func NewRelScan(rel *storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) (*RelScan, error) {
-	s := &RelScan{names: names, kinds: kinds, rel: rel, splits: rel.Batches()}
+	return NewMultiRelScan([]*storage.Relation{rel}, names, kinds, pred)
+}
+
+// NewMultiRelScan builds one scan over the concatenation of several
+// relations sharing a schema (the chunks a query selected), streamed in
+// slice order.
+func NewMultiRelScan(rels []*storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) (*RelScan, error) {
+	s := &RelScan{names: names, kinds: kinds, skipped: new(atomic.Int64)}
+	for _, rel := range rels {
+		for i := range rel.Batches() {
+			s.morsels = append(s.morsels, scanMorsel{rel: rel, idx: i})
+		}
+	}
 	if pred != nil {
 		pred = expr.Clone(pred)
 		if k, err := pred.Bind(names, kinds); err != nil {
@@ -201,22 +226,54 @@ func (s *RelScan) Names() []string { return s.names }
 func (s *RelScan) Kinds() []storage.Kind { return s.kinds }
 
 // BatchHint implements BatchHinter.
-func (s *RelScan) BatchHint() int { return len(s.splits) }
+func (s *RelScan) BatchHint() int { return len(s.morsels) }
 
-// Skipped reports how many batches the zone maps pruned.
-func (s *RelScan) Skipped() int { return s.skipped }
+// Skipped reports how many batches the zone maps pruned, across every
+// range scan split off this one.
+func (s *RelScan) Skipped() int { return int(s.skipped.Load()) }
+
+// Split implements Splitter: the remaining morsels are cut into at most
+// n contiguous ranges, each served by an independent scan with its own
+// predicate clone (expression memoization is per-goroutine state).
+func (s *RelScan) Split(n int) ([]Operator, error) {
+	rest := s.morsels[s.pos:]
+	ranges := splitRanges(len(rest), n, scanSplitGrain)
+	if ranges == nil {
+		return nil, nil
+	}
+	out := make([]Operator, len(ranges))
+	for i, r := range ranges {
+		child := &RelScan{
+			names:   s.names,
+			kinds:   s.kinds,
+			morsels: rest[r[0]:r[1]],
+			bounds:  s.bounds,
+			skipped: s.skipped,
+		}
+		if s.pred != nil {
+			p := expr.Clone(s.pred)
+			if _, err := p.Bind(s.names, s.kinds); err != nil {
+				return nil, err
+			}
+			child.pred = p
+		}
+		out[i] = child
+	}
+	s.pos = len(s.morsels)
+	return out, nil
+}
 
 // Next implements Operator.
 func (s *RelScan) Next() (*storage.Batch, error) {
-	for s.pos < len(s.splits) {
-		i := s.pos
-		b := s.splits[i]
+	for s.pos < len(s.morsels) {
+		m := s.morsels[s.pos]
 		s.pos++
+		b := m.rel.Batches()[m.idx]
 		if s.pred == nil {
 			return b, nil
 		}
-		if s.pruneByZone(i) {
-			s.skipped++
+		if s.pruneByZone(m) {
+			s.skipped.Add(1)
 			continue
 		}
 		sel := expr.EvalSel(s.pred, b, nil)
@@ -233,10 +290,11 @@ func (s *RelScan) Next() (*storage.Batch, error) {
 	return nil, nil
 }
 
-// pruneByZone reports that batch i cannot contain qualifying rows.
-func (s *RelScan) pruneByZone(i int) bool {
+// pruneByZone reports that the morsel's batch cannot contain qualifying
+// rows.
+func (s *RelScan) pruneByZone(m scanMorsel) bool {
 	for _, zb := range s.bounds {
-		if s.rel.Zone(i, zb.col).Disjoint(zb.lo, zb.hi) {
+		if m.rel.Zone(m.idx, zb.col).Disjoint(zb.lo, zb.hi) {
 			return true
 		}
 	}
@@ -277,6 +335,28 @@ func (f *Filter) BatchHint() int {
 		return h.BatchHint()
 	}
 	return 0
+}
+
+// Split implements Splitter: a filter splits exactly when its input
+// does, applying a fresh predicate clone per range.
+func (f *Filter) Split(n int) ([]Operator, error) {
+	sp, ok := f.in.(Splitter)
+	if !ok {
+		return nil, nil
+	}
+	ins, err := sp.Split(n)
+	if err != nil || ins == nil {
+		return nil, err
+	}
+	out := make([]Operator, len(ins))
+	for i, in := range ins {
+		nf, err := NewFilter(in, f.pred)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nf
+	}
+	return out, nil
 }
 
 // Next implements Operator.
@@ -338,6 +418,28 @@ func (p *Project) BatchHint() int {
 	return 0
 }
 
+// Split implements Splitter: a projection splits exactly when its input
+// does, evaluating fresh expression clones per range.
+func (p *Project) Split(n int) ([]Operator, error) {
+	sp, ok := p.in.(Splitter)
+	if !ok {
+		return nil, nil
+	}
+	ins, err := sp.Split(n)
+	if err != nil || ins == nil {
+		return nil, err
+	}
+	out := make([]Operator, len(ins))
+	for i, in := range ins {
+		np, err := NewProject(in, p.names, p.exprs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = np
+	}
+	return out, nil
+}
+
 // Next implements Operator.
 func (p *Project) Next() (*storage.Batch, error) {
 	b, err := p.in.Next()
@@ -350,60 +452,6 @@ func (p *Project) Next() (*storage.Batch, error) {
 		cols[i] = e.Eval(b)
 	}
 	return storage.NewBatch(cols...), nil
-}
-
-// UnionAll concatenates the streams of its inputs, which must share a
-// schema. The run-time optimizer uses it to combine cache-scans and
-// chunk-accesses over the selected chunks (rewrite rule (1)).
-type UnionAll struct {
-	ins []Operator
-	pos int
-}
-
-// NewUnionAll validates schema compatibility.
-func NewUnionAll(ins ...Operator) (*UnionAll, error) {
-	if len(ins) == 0 {
-		return nil, fmt.Errorf("physical: empty union")
-	}
-	w := len(ins[0].Names())
-	for _, in := range ins[1:] {
-		if len(in.Names()) != w {
-			return nil, fmt.Errorf("physical: union width mismatch")
-		}
-	}
-	return &UnionAll{ins: ins}, nil
-}
-
-// Names implements Operator.
-func (u *UnionAll) Names() []string { return u.ins[0].Names() }
-
-// Kinds implements Operator.
-func (u *UnionAll) Kinds() []storage.Kind { return u.ins[0].Kinds() }
-
-// BatchHint implements BatchHinter.
-func (u *UnionAll) BatchHint() int {
-	n := 0
-	for _, in := range u.ins {
-		if h, ok := in.(BatchHinter); ok {
-			n += h.BatchHint()
-		}
-	}
-	return n
-}
-
-// Next implements Operator.
-func (u *UnionAll) Next() (*storage.Batch, error) {
-	for u.pos < len(u.ins) {
-		b, err := u.ins[u.pos].Next()
-		if err != nil {
-			return nil, err
-		}
-		if b != nil {
-			return b, nil
-		}
-		u.pos++
-	}
-	return nil, nil
 }
 
 // Empty is a zero-row operator with a schema; the rewrite of a scan

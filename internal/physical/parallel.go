@@ -1,0 +1,188 @@
+package physical
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sommelier/internal/storage"
+)
+
+// This file implements morsel-driven parallel execution (Leis et al.,
+// SIGMOD'14, adapted to the pull model): a scan partitions its batch
+// list into morsel ranges, each range becomes an independent operator
+// chain, and a small worker pool claims ranges off a shared cursor.
+// Each worker drains its chain through its own Coalescer into a
+// per-range relation; ranges are reassembled in morsel order, so the
+// parallel result holds exactly the serial result's rows in the serial
+// order (only batch boundaries may differ). Operators that materialize
+// their input internally — hash-join build, aggregation, sort — run
+// their own parallelism instead (partitioned build, partial aggregates,
+// parallel input drain) and stay single-stream to their consumer.
+
+// morselFanout is how many splits ParallelDrain requests per worker:
+// more ranges than workers lets the pool balance skew (zone-map skips,
+// selective predicates) without giving up deterministic reassembly.
+const morselFanout = 4
+
+// scanSplitGrain is the minimum number of batches per range a scan
+// split produces (~16k rows): below that, per-range setup (predicate
+// clones, coalescers, partial-aggregate tables) costs more than the
+// parallelism buys.
+const scanSplitGrain = 4
+
+// Splitter is an Operator that can partition its remaining work into
+// independent operators, each safe to run on its own goroutine.
+// Splitting transfers the work: after a successful Split only the
+// returned operators may be consumed, never the receiver. Concatenating
+// the outputs of the returned operators in slice order yields the rows
+// the receiver would have produced, in the same order. A nil slice with
+// a nil error reports that the operator cannot split (too little work,
+// or a non-splittable input).
+type Splitter interface {
+	Operator
+	Split(n int) ([]Operator, error)
+}
+
+// ParallelHinter is implemented by operators that materialize an input
+// internally (hash-join build, aggregation, sort) and can use a degree
+// of parallelism granted by the executor. SetParallel must be called
+// before the first Next.
+type ParallelHinter interface {
+	SetParallel(dop int)
+}
+
+// ParallelDrain drains op to completion with up to dop workers when the
+// operator can split its work, falling back to the serial Drain
+// otherwise. The result holds the same rows in the same order as the
+// serial drain. check (may be nil) is consulted between batches on
+// every worker, as in Drain.
+func ParallelDrain(op Operator, dop int, check func() error) (*storage.Relation, error) {
+	if dop > 1 {
+		if sp, ok := op.(Splitter); ok {
+			parts, err := sp.Split(dop * morselFanout)
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) > 1 {
+				return drainParts(parts, dop, check)
+			}
+			if len(parts) == 1 {
+				return Drain(parts[0], check)
+			}
+		}
+	}
+	return Drain(op, check)
+}
+
+// runParts invokes run for every part index in [0, n), claimed off a
+// shared atomic cursor by up to dop workers; the remaining workers stop
+// after the first error, which is returned. With dop ≤ 1 the parts run
+// sequentially on the calling goroutine, in order — the serial
+// fallback shares the exact code path of the parallel one.
+func runParts(n, dop int, run func(i int) error) error {
+	if dop > n {
+		dop = n
+	}
+	if dop <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := run(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// drainParts runs the part operators on a pool of dop workers, each
+// part drained through its own Coalescer into its own relation, and
+// reassembles the per-part relations in part order.
+func drainParts(parts []Operator, dop int, check func() error) (*storage.Relation, error) {
+	outs := make([]*storage.Relation, len(parts))
+	err := runParts(len(parts), dop, func(i int) error {
+		rel, err := Drain(parts[i], check)
+		if err == nil {
+			outs[i] = rel
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	nb := 0
+	for _, rel := range outs {
+		nb += len(rel.Batches())
+	}
+	out := storage.NewRelationWithCap(nb)
+	for _, rel := range outs {
+		for _, b := range rel.Batches() {
+			out.Append(b)
+		}
+	}
+	return out, nil
+}
+
+// splitRanges cuts length items into at most n contiguous ranges of at
+// least minPer items each, returned as [lo, hi) index pairs.
+func splitRanges(length, n, minPer int) [][2]int {
+	if length <= 0 || n <= 1 {
+		return nil
+	}
+	maxParts := length / minPer
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	if n > maxParts {
+		n = maxParts
+	}
+	if n <= 1 {
+		return nil
+	}
+	ranges := make([][2]int, 0, n)
+	per, rem := length/n, length%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+		lo = hi
+	}
+	return ranges
+}
+
+// hash64 is the shared 64-bit finalizer used to shard join keys across
+// partitioned build tables.
+func hash64(v int64) uint64 {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}

@@ -194,24 +194,21 @@ func TestCrossJoin(t *testing.T) {
 	}
 }
 
-func TestUnionAll(t *testing.T) {
+func TestMultiRelScan(t *testing.T) {
+	// The union of several relations (a query's selected chunks) is one
+	// scan whose batch list concatenates them in slice order.
 	rel1, names, kinds := dataRel()
 	rel2, _, _ := dataRel()
-	s1, _ := NewRelScan(rel1, names, kinds, nil)
-	s2, _ := NewRelScan(rel2, names, kinds, nil)
-	u, err := NewUnionAll(s1, s2)
+	s, err := NewMultiRelScan([]*storage.Relation{rel1, rel2}, names, kinds, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(u)
+	out, err := Run(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Rows() != 10 {
 		t.Fatalf("rows = %d", out.Rows())
-	}
-	if _, err := NewUnionAll(); err == nil {
-		t.Fatal("empty union accepted")
 	}
 }
 

@@ -13,12 +13,20 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort materializes its input and emits it ordered by the keys.
+// Sort materializes its input and emits it ordered by the keys. Under a
+// degree of parallelism (SetParallel) the input is drained through the
+// parallel morsel pipeline; the sort itself then imposes the total
+// order, so the result is unaffected by the drain's batch boundaries.
 type Sort struct {
 	in   Operator
 	keys []SortKey
+	dop  int
 	done bool
 }
+
+// SetParallel implements ParallelHinter: it grants the input drain up
+// to dop workers. It must be called before the first Next.
+func (s *Sort) SetParallel(dop int) { s.dop = dop }
 
 // NewSort validates the key positions.
 func NewSort(in Operator, keys []SortKey) (*Sort, error) {
@@ -47,7 +55,7 @@ func (s *Sort) Next() (*storage.Batch, error) {
 		return nil, nil
 	}
 	s.done = true
-	rel, err := Run(s.in)
+	rel, err := ParallelDrain(s.in, s.dop, nil)
 	if err != nil {
 		return nil, err
 	}
