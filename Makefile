@@ -30,11 +30,15 @@ bench:
 ## headline metrics (lazy T4 hot ms, lazy QPS at 1/4/16 clients with
 ## scaling ratios, allocs/op of the filter/join/group-by
 ## microbenchmarks, and the parallel-execution section: join/group-by
-## speedups at DOP = GOMAXPROCS). BENCH_selection.json is the frozen
-## pre-parallelism baseline — do not overwrite it.
+## speedups at DOP = GOMAXPROCS), plus BENCH_plancache.json (compile_us
+## cold vs cache-hit, plan-cache hit rate, prepared-vs-direct QPS).
+## BENCH_selection.json is the frozen pre-parallelism baseline — do not
+## overwrite it.
 bench-json:
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_parallel.json
 	@cat BENCH_parallel.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -plancache-json BENCH_plancache.json
+	@cat BENCH_plancache.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

@@ -37,6 +37,7 @@ func main() {
 	samples := flag.Int("samples", 8000, "samples per chunk")
 	sfs := flag.String("sf", "1,3,9,27", "scale factors")
 	jsonPath := flag.String("json", "", "write headline metrics as JSON to this path and exit")
+	planCachePath := flag.String("plancache-json", "", "write plan-cache metrics (compile_us, hit rate, prepared vs direct QPS) as JSON to this path and exit")
 	flag.Parse()
 
 	dir := *work
@@ -59,6 +60,13 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
 	}
 
+	if *planCachePath != "" {
+		if err := experiments.WritePlanCacheJSON(cfg, *planCachePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *planCachePath)
+		return
+	}
 	if *jsonPath != "" {
 		if err := experiments.WriteHeadlineJSON(cfg, *jsonPath); err != nil {
 			fatal(err)

@@ -47,7 +47,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sommelier gen     -dir DIR [-days N] [-samples N] [-seed N]
-  sommelier query   -dir DIR [-approach A] -sql SQL
+  sommelier query   -dir DIR [-approach A] -sql SQL   (EXPLAIN SELECT ... prints the plan)
   sommelier explain -dir DIR -sql SQL
   sommelier report  -dir DIR [-approach A]
 approaches: lazy (default), eager_csv, eager_plain, eager_index, eager_dmd`)

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"sommelier/internal/dmd"
 	"sommelier/internal/exec"
 	"sommelier/internal/expr"
+	"sommelier/internal/opt"
 	"sommelier/internal/plan"
 	"sommelier/internal/registrar"
 	"sommelier/internal/seismic"
@@ -39,6 +41,15 @@ type Config struct {
 	// shared across in-flight queries), 1 = fully serial (the
 	// parallelization ablation), any other value is taken literally.
 	MaxParallel int
+	// PlanCacheSize bounds the compiled-plan cache (entries). 0 picks
+	// DefaultPlanCacheSize; negative disables plan caching.
+	PlanCacheSize int
+	// OptDisable lists logical-optimizer rules to disable, comma
+	// separated ("all" disables every rule; see internal/opt). Empty
+	// defers to the SOMMELIER_OPT_DISABLE environment variable; the
+	// special value "none" forces every rule on regardless of the
+	// environment.
+	OptDisable string
 }
 
 // DefaultCacheBytes is the recycler capacity when none is configured.
@@ -60,6 +71,18 @@ type DB struct {
 	recycler *cache.Recycler
 	dmd      *dmd.Manager
 	indexes  *registrar.Indexes
+
+	// optCtx/optRules parameterize the logical optimizer; plans is the
+	// bounded LRU of compiled statements keyed by normalized SQL.
+	optCtx   opt.Context
+	optRules opt.Options
+	plans    *planCache
+
+	// seriesPlan is the derived-metadata fetcher's parameterized series
+	// query, compiled on first use and replayed per derivation.
+	seriesOnce sync.Once
+	seriesPlan *plan.Plan
+	seriesErr  error
 
 	reportMu sync.Mutex
 	report   registrar.Report
@@ -171,6 +194,31 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		return nil, fmt.Errorf("engine: unknown approach %q", cfg.Approach)
 	}
 
+	// The logical optimizer's view of the environment: the catalog plus
+	// the key columns of every index access path.
+	db.optCtx = opt.Context{Catalog: db.cat}
+	if len(db.env.MetaIndexes) > 0 {
+		db.optCtx.MetaIndexes = make(map[string][][]string, len(db.env.MetaIndexes))
+		for tn, mis := range db.env.MetaIndexes {
+			for _, mi := range mis {
+				db.optCtx.MetaIndexes[tn] = append(db.optCtx.MetaIndexes[tn], mi.Cols)
+			}
+		}
+	}
+	switch strings.TrimSpace(cfg.OptDisable) {
+	case "":
+		db.optRules = opt.FromEnv()
+	case "none":
+		db.optRules = opt.Default()
+	default:
+		db.optRules = opt.ParseDisable(cfg.OptDisable)
+	}
+	size := cfg.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	db.plans = newPlanCache(size)
+
 	db.dmd = dmd.NewManager(db.cat, fetcherFunc(db.fetchSeries))
 	if cfg.Approach == registrar.EagerDMd {
 		if _, dur, err := db.dmd.DeriveAll(); err != nil {
@@ -192,25 +240,30 @@ func (f fetcherFunc) FetchSeries(station, channel string, from, to int64) ([]int
 
 // fetchSeries retrieves one station/channel series through the regular
 // two-stage execution path, so DMd derivation exploits lazy loading.
+// The fixed-shape series query is compiled once (parameterized) and
+// replayed per derivation, like any other prepared statement.
 func (db *DB) fetchSeries(station, channel string, from, to int64) ([]int64, []float64, error) {
-	q := &plan.Query{
-		Select: []plan.SelectItem{
-			{Expr: expr.Col("D.sample_time")},
-			{Expr: expr.Col("D.sample_value")},
-		},
-		From: seismic.ViewData,
-		Where: expr.Conjoin([]expr.Expr{
-			expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.Str(station)),
-			expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.Str(channel)),
-			expr.NewCmp(expr.GE, expr.Col("D.sample_time"), expr.Time(from)),
-			expr.NewCmp(expr.LT, expr.Col("D.sample_time"), expr.Time(to)),
-		}),
+	db.seriesOnce.Do(func() {
+		q := &plan.Query{
+			Select: []plan.SelectItem{
+				{Expr: expr.Col("D.sample_time")},
+				{Expr: expr.Col("D.sample_value")},
+			},
+			From: seismic.ViewData,
+			Where: expr.Conjoin([]expr.Expr{
+				expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.NewParam(0)),
+				expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.NewParam(1)),
+				expr.NewCmp(expr.GE, expr.Col("D.sample_time"), expr.NewParam(2)),
+				expr.NewCmp(expr.LT, expr.Col("D.sample_time"), expr.NewParam(3)),
+			}),
+		}
+		db.seriesPlan, db.seriesErr = db.compileQuery(q)
+	})
+	if db.seriesErr != nil {
+		return nil, nil, db.seriesErr
 	}
-	p, err := plan.Build(db.cat, q)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := exec.Execute(db.env, p)
+	args := []*expr.Const{expr.Str(station), expr.Str(channel), expr.Time(from), expr.Time(to)}
+	res, err := exec.ExecuteParams(context.Background(), db.env, db.seriesPlan, args)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -243,11 +296,98 @@ type Result struct {
 	QueryType int
 	// DMd reports the Algorithm 1 work done before execution.
 	DMd dmd.Stats
-	// Plan is the compiled plan (for inspection / rendering).
+	// Plan is the compiled plan (for inspection / rendering). Plans may
+	// come from the shared compiled-plan cache: treat as read-only.
 	Plan *plan.Plan
+	// Compile is the time this call spent in parse + plan.Build + opt
+	// (on a plan-cache hit only the parse/lookup remains; zero on the
+	// prepared-statement path, which compiles nothing).
+	Compile time.Duration
+	// PlanCacheHit marks that the compiled plan came from the cache.
+	PlanCacheHit bool
+}
+
+// compiled is one cache-resident compiled statement: the parsed
+// specification and its optimized, immutable, freely shareable plan.
+type compiled struct {
+	query *plan.Query
+	plan  *plan.Plan
+}
+
+// compileQuery is the single compile entry point below the cache:
+// name resolution and typing (plan.Build) followed by the rule-based
+// logical optimizer.
+func (db *DB) compileQuery(q *plan.Query) (*plan.Plan, error) {
+	p, err := plan.Build(db.cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(&db.optCtx, p, db.optRules)
+}
+
+// compileStatement resolves a parsed statement through the plan cache,
+// compiling on miss. The bool reports a cache hit.
+func (db *DB) compileStatement(st *sqlparse.Statement) (*compiled, bool, error) {
+	if c, ok := db.plans.Get(st.Normalized); ok {
+		return c, true, nil
+	}
+	p, err := db.compileQuery(st.Query)
+	if err != nil {
+		return nil, false, err
+	}
+	c := &compiled{query: st.Query, plan: p}
+	db.plans.Put(st.Normalized, c)
+	return c, false, nil
+}
+
+// substSpec returns the query specification with the execution's
+// argument values substituted into its WHERE clause (a shallow copy;
+// the cached spec is never modified). Algorithm 1 reads the resulting
+// predicates to enumerate the derived-metadata windows the execution
+// touches.
+func substSpec(spec *plan.Query, args []*expr.Const) (*plan.Query, error) {
+	if len(args) == 0 || !expr.HasParams(spec.Where) {
+		return spec, nil
+	}
+	w, err := expr.SubstParams(spec.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	qc := *spec
+	qc.Where = w
+	return &qc, nil
+}
+
+// prepareDMd runs Algorithm 1 for a compiled statement: the derived
+// metadata the execution needs is made available before it starts,
+// enumerated from the argument-substituted predicates.
+func (db *DB) prepareDMd(c *compiled, args []*expr.Const) (dmd.Stats, error) {
+	spec, err := substSpec(c.query, args)
+	if err != nil {
+		return dmd.Stats{}, err
+	}
+	return db.dmd.Prepare(c.plan, spec)
+}
+
+// execCompiled runs a compiled statement: Algorithm 1 (derived-metadata
+// preparation) against the argument-substituted predicates, then the
+// two-stage executor.
+func (db *DB) execCompiled(ctx context.Context, c *compiled, args []*expr.Const) (*Result, error) {
+	dst, err := db.prepareDMd(c, args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.ExecuteParams(ctx, db.env, c.plan, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, QueryType: c.plan.Type(), DMd: dst, Plan: c.plan}, nil
 }
 
 // Query parses, prepares (Algorithm 1) and executes one SQL statement.
+// Repeated statements differing only in literals share one compiled
+// plan through the plan cache (the parser normalizes literals into
+// parameters).
 func (db *DB) Query(sql string) (*Result, error) {
 	return db.QueryContext(context.Background(), sql)
 }
@@ -255,35 +395,190 @@ func (db *DB) Query(sql string) (*Result, error) {
 // QueryContext is Query with cancellation: the executor aborts between
 // batches and before chunk ingestions once ctx is done.
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	q, err := sqlparse.Parse(sql)
+	return db.QueryArgsContext(ctx, sql)
+}
+
+// QueryArgs executes a statement with `?` parameter markers bound to
+// args (int/int64/float64/string/bool/time.Time).
+func (db *DB) QueryArgs(sql string, args ...any) (*Result, error) {
+	return db.QueryArgsContext(context.Background(), sql, args...)
+}
+
+// QueryArgsContext is QueryArgs with cancellation. Statements without
+// explicit markers take no args (their literals are auto-parameterized
+// internally); an EXPLAIN statement returns the optimized plan and the
+// applied-rule log as rows instead of executing.
+func (db *DB) QueryArgsContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	t0 := time.Now()
+	st, err := sqlparse.ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunContext(ctx, q)
+	if st.Explain {
+		// EXPLAIN only compiles — argument values are never used, so
+		// none are required (any supplied are ignored).
+		c, hit, err := db.compileStatement(st)
+		if err != nil {
+			return nil, err
+		}
+		res := explainResult(c.plan)
+		res.Compile, res.PlanCacheHit = time.Since(t0), hit
+		return res, nil
+	}
+	vals, err := statementArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	c, hit, err := db.compileStatement(st)
+	if err != nil {
+		return nil, err
+	}
+	compile := time.Since(t0)
+	res, err := db.execCompiled(ctx, c, vals)
+	if err != nil {
+		return nil, err
+	}
+	res.Compile, res.PlanCacheHit = compile, hit
+	return res, nil
 }
 
-// Run executes a programmatically constructed query specification.
+// statementArgs reconciles caller-supplied arguments with the parsed
+// statement: explicit markers require exactly NumParams values;
+// auto-parameterized statements carry their own literal values and
+// accept none.
+func statementArgs(st *sqlparse.Statement, args []any) ([]*expr.Const, error) {
+	if st.Args != nil {
+		if len(args) > 0 {
+			return nil, fmt.Errorf("engine: statement has no ? markers but %d argument(s) given", len(args))
+		}
+		return st.Args, nil
+	}
+	if len(args) != st.NumParams {
+		return nil, fmt.Errorf("engine: statement needs %d argument(s), got %d", st.NumParams, len(args))
+	}
+	return convertArgs(args)
+}
+
+// convertArgs turns Go values into expression constants.
+func convertArgs(args []any) ([]*expr.Const, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]*expr.Const, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			out[i] = expr.Int(int64(v))
+		case int64:
+			out[i] = expr.Int(v)
+		case float64:
+			out[i] = expr.Float(v)
+		case string:
+			out[i] = expr.Str(v)
+		case bool:
+			out[i] = expr.Bool(v)
+		case time.Time:
+			out[i] = expr.TimeVal(v)
+		case *expr.Const:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("engine: unsupported argument %d type %T", i+1, a)
+		}
+	}
+	return out, nil
+}
+
+// Stmt is a prepared statement: parsed, planned and optimized once,
+// executable any number of times (concurrently) with per-execution
+// arguments. A cache hit on the same normalized statement shares the
+// compiled plan.
+type Stmt struct {
+	db       *DB
+	c        *compiled
+	explain  bool
+	norm     string
+	nParams  int
+	defaults []*expr.Const
+}
+
+// Prepare compiles a statement through the plan cache and returns the
+// reusable handle. Executing it performs zero parse, plan or optimizer
+// work.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := db.compileStatement(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{
+		db:       db,
+		c:        c,
+		explain:  st.Explain,
+		norm:     st.Normalized,
+		nParams:  st.NumParams,
+		defaults: st.Args,
+	}, nil
+}
+
+// Normalized returns the canonical statement text (the plan-cache key).
+func (s *Stmt) Normalized() string { return s.norm }
+
+// NumParams reports how many arguments Query expects.
+func (s *Stmt) NumParams() int { return s.nParams }
+
+// Query executes the prepared statement. Statements prepared from
+// literal SQL (auto-parameterized) may be called with no arguments to
+// reuse the original literals, or with fresh values for every
+// parameter.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
+	if s.explain {
+		return explainResult(s.c.plan), nil
+	}
+	var vals []*expr.Const
+	if len(args) == 0 && s.defaults != nil {
+		vals = s.defaults
+	} else {
+		if len(args) != s.nParams {
+			return nil, fmt.Errorf("engine: prepared statement needs %d argument(s), got %d", s.nParams, len(args))
+		}
+		var err error
+		vals, err = convertArgs(args)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.db.execCompiled(ctx, s.c, vals)
+}
+
+// Run executes a programmatically constructed query specification
+// (compiled outside the plan cache — there is no statement text to key
+// it by).
 func (db *DB) Run(q *plan.Query) (*Result, error) {
 	return db.RunContext(context.Background(), q)
 }
 
 // RunContext is Run with cancellation.
 func (db *DB) RunContext(ctx context.Context, q *plan.Query) (*Result, error) {
-	p, err := plan.Build(db.cat, q)
+	t0 := time.Now()
+	p, err := db.compileQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	// Algorithm 1: make the derived metadata the query needs
-	// available before execution.
-	dst, err := db.dmd.Prepare(p, q)
+	compile := time.Since(t0)
+	res, err := db.execCompiled(ctx, &compiled{query: q, plan: p}, nil)
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.ExecuteContext(ctx, db.env, p)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res, QueryType: p.Type(), DMd: dst, Plan: p}, nil
+	res.Compile = compile
+	return res, nil
 }
 
 // Catalog exposes the warehouse catalog.
@@ -331,20 +626,27 @@ func (db *DB) WarmUp(sql string, runs int) error {
 
 // ExplainAnalyze executes a SQL statement with operator-level tracing
 // and renders the plan annotated with the rows each operator emitted
-// per stage, plus the execution statistics.
-func (db *DB) ExplainAnalyze(sql string) (string, error) {
-	q, err := sqlparse.Parse(sql)
+// per stage, plus the execution statistics. Compilation goes through
+// the same cache as Query; args bind `?` markers exactly as in
+// QueryArgs.
+func (db *DB) ExplainAnalyze(sql string, args ...any) (string, error) {
+	st, err := sqlparse.ParseStatement(sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := plan.Build(db.cat, q)
+	vals, err := statementArgs(st, args)
 	if err != nil {
 		return "", err
 	}
-	if _, err := db.dmd.Prepare(p, q); err != nil {
+	c, _, err := db.compileStatement(st)
+	if err != nil {
 		return "", err
 	}
-	res, trace, err := exec.ExecuteTraced(context.Background(), db.env, p)
+	if _, err := db.prepareDMd(c, vals); err != nil {
+		return "", err
+	}
+	p := c.plan
+	res, trace, err := exec.ExecuteTracedParams(context.Background(), db.env, p, vals)
 	if err != nil {
 		return "", err
 	}
@@ -360,24 +662,71 @@ func (db *DB) ExplainAnalyze(sql string) (string, error) {
 			return fmt.Sprintf("%d rows", s2)
 		}
 	})
-	st := res.Stats
+	out += renderRuleLog(p)
+	st2 := res.Stats
 	out += fmt.Sprintf("-- stage1=%v load=%v stage2=%v  chunks: %d selected, %d loaded, %d cached\n",
-		st.Stage1.Round(time.Microsecond), st.Load.Round(time.Microsecond),
-		st.Stage2.Round(time.Microsecond), st.ChunksSelected, st.ChunksLoaded, st.CacheHits)
+		st2.Stage1.Round(time.Microsecond), st2.Load.Round(time.Microsecond),
+		st2.Stage2.Round(time.Microsecond), st2.ChunksSelected, st2.ChunksLoaded, st2.CacheHits)
 	return out, nil
 }
 
-// Explain renders the compiled plan of a SQL statement with the Qf
-// branch marked.
+// Explain renders the optimized plan of a SQL statement with the Qf
+// branch marked, followed by the applied-rule log — the same text the
+// `EXPLAIN <query>` statement returns as rows.
 func (db *DB) Explain(sql string) (string, error) {
-	q, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseStatement(sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := plan.Build(db.cat, q)
+	c, _, err := db.compileStatement(st)
 	if err != nil {
 		return "", err
 	}
-	header := fmt.Sprintf("-- type: T%d  two-stage: %t\n", p.Type(), p.TwoStage)
-	return header + plan.Render(p.Root, p.Qf), nil
+	return renderExplain(c.plan), nil
 }
+
+// renderExplain is the EXPLAIN text: header, plan tree, rule log.
+func renderExplain(p *plan.Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- type: T%d  two-stage: %t", p.Type(), p.TwoStage)
+	if p.NumParams > 0 {
+		fmt.Fprintf(&sb, "  params: %d", p.NumParams)
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(plan.Render(p.Root, p.Qf))
+	sb.WriteString(renderRuleLog(p))
+	return sb.String()
+}
+
+// renderRuleLog renders the optimizer's applied-rule log, one line per
+// rule.
+func renderRuleLog(p *plan.Plan) string {
+	var sb strings.Builder
+	for _, r := range p.RuleLog {
+		sb.WriteString("-- rule ")
+		sb.WriteString(r)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// explainResult wraps the EXPLAIN text into a one-column result so the
+// statement flows through every client path (CLI, HTTP) unchanged.
+func explainResult(p *plan.Plan) *Result {
+	text := strings.TrimRight(renderExplain(p), "\n")
+	lines := strings.Split(text, "\n")
+	rel := storage.NewRelation()
+	rel.Append(storage.NewBatch(storage.NewStringColumn(lines)))
+	return &Result{
+		Result: &exec.Result{
+			Names: []string{"plan"},
+			Kinds: []storage.Kind{storage.KindString},
+			Rel:   rel,
+		},
+		QueryType: p.Type(),
+		Plan:      p,
+	}
+}
+
+// PlanCacheStats reports compiled-plan cache activity.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.Stats() }

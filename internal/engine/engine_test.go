@@ -36,6 +36,19 @@ func open(t testing.TB, dir string, approach registrar.Approach) *DB {
 	return db
 }
 
+// openOpt opens with every optimizer rule forced on, for tests that
+// assert optimizer-driven behavior (Qf chunk pruning, sampling,
+// EXPLAIN markers) and must not inherit SOMMELIER_OPT_DISABLE from the
+// environment.
+func openOpt(t testing.TB, dir string, approach registrar.Approach) *DB {
+	t.Helper()
+	db, err := Open(dir, Config{Approach: approach, OptDisable: "none"})
+	if err != nil {
+		t.Fatalf("open %s: %v", approach, err)
+	}
+	return db
+}
+
 // The T1–T5 representative queries of the evaluation, over the
 // generated repository's stations (FIAM et al., channel HHZ, data
 // starting 2010-01-01).
@@ -94,7 +107,7 @@ func TestLazyMetadataOnlyInvestment(t *testing.T) {
 
 func TestQuery1EndToEnd(t *testing.T) {
 	dir := genRepo(t, 2)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	res, err := db.Query(`
 		SELECT AVG(D.sample_value) FROM dataview
 		WHERE F.station = 'ISK' AND F.channel = 'BHE'
@@ -301,7 +314,7 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestExplainMarksQf(t *testing.T) {
 	dir := genRepo(t, 1)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	out, err := db.Explain(tQueries()[4])
 	if err != nil {
 		t.Fatal(err)
@@ -367,7 +380,7 @@ func TestReportSizesGrowUnderLazy(t *testing.T) {
 
 func TestEagerIndexPrunesLikeLazy(t *testing.T) {
 	dir := genRepo(t, 2)
-	dbI := open(t, dir, registrar.EagerIndex)
+	dbI := openOpt(t, dir, registrar.EagerIndex)
 	res, err := dbI.Query(tQueries()[4])
 	if err != nil {
 		t.Fatal(err)
@@ -386,7 +399,7 @@ func TestEagerIndexPrunesLikeLazy(t *testing.T) {
 
 func TestStatsStageTimings(t *testing.T) {
 	dir := genRepo(t, 1)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	res, err := db.Query(tQueries()[4])
 	if err != nil {
 		t.Fatal(err)

@@ -83,7 +83,7 @@ func TestRandomizedLazyEagerEquivalence(t *testing.T) {
 // and touches fewer chunks.
 func TestSamplingEndToEnd(t *testing.T) {
 	dir := genRepo(t, 4)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	exact, err := db.Query(`
 		SELECT AVG(D.sample_value) FROM dataview
 		WHERE F.station = 'FIAM'
@@ -92,7 +92,7 @@ func TestSamplingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db2 := open(t, dir, registrar.Lazy)
+	db2 := openOpt(t, dir, registrar.Lazy)
 	approx, err := db2.Query(`
 		SELECT AVG(D.sample_value) FROM dataview
 		WHERE F.station = 'FIAM'

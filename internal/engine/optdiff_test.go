@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+
+	"sommelier/internal/opt"
+	"sommelier/internal/registrar"
+)
+
+// optDiffQueries spans the taxonomy (T1/T2/T4/T5) plus projection
+// arithmetic, grouping, ordering and a parenthesized disjunction, so
+// every optimizer rule has something to rewrite.
+func optDiffQueries() []string {
+	return []string{
+		`SELECT station, COUNT(*) AS n FROM F WHERE station = 'FIAM' GROUP BY station`,
+		`SELECT window_start_ts, window_max_val FROM H
+		   WHERE window_station = 'FIAM'
+		     AND window_start_ts >= '2010-01-01T00:00:00.000'
+		     AND window_start_ts < '2010-01-02T00:00:00.000'
+		   ORDER BY window_start_ts`,
+		`SELECT AVG(D.sample_value), COUNT(*) AS n FROM dataview
+		   WHERE F.station = 'FIAM' AND F.channel = 'HHZ'
+		     AND D.sample_time >= '2010-01-01T00:00:00.000'
+		     AND D.sample_time < '2010-01-02T00:00:00.000'`,
+		`SELECT COUNT(*) AS n, MIN(D.sample_value), MAX(D.sample_value) FROM windowdataview
+		   WHERE F.station = 'FIAM'
+		     AND H.window_start_ts >= '2010-01-01T00:00:00.000'
+		     AND H.window_start_ts < '2010-01-02T00:00:00.000'
+		     AND H.window_std_dev >= 0`,
+		`SELECT D.sample_time, D.sample_value * 2 + 1 AS v FROM dataview
+		   WHERE F.station = 'ISK' AND (F.channel = 'HHZ' OR F.channel = 'BHE')
+		     AND D.sample_time < '2010-01-01T06:00:00.000'
+		   ORDER BY D.sample_time DESC LIMIT 7`,
+		`SELECT COUNT(*) AS n FROM F WHERE 1 + 1 = 2 AND station = 'ISK'`,
+	}
+}
+
+// TestOptimizerRulesResultPreserving is the acceptance property of the
+// rule pipeline: with any single rule disabled — and with all of them
+// disabled — every query returns exactly the rows the fully optimized
+// plan returns, across all five loading approaches. Each configuration
+// runs on a fresh database so derived-metadata state accumulates
+// identically.
+func TestOptimizerRulesResultPreserving(t *testing.T) {
+	dir := genRepo(t, 1)
+	queries := optDiffQueries()
+	approaches := []registrar.Approach{
+		registrar.Lazy, registrar.EagerCSV, registrar.EagerPlain,
+		registrar.EagerIndex, registrar.EagerDMd,
+	}
+	configs := append([]string{"all"}, opt.Rules()...)
+	for _, app := range approaches {
+		ref := runQuerySuite(t, dir, app, "none", queries)
+		for _, disabled := range configs {
+			got := runQuerySuite(t, dir, app, disabled, queries)
+			for qi := range queries {
+				if got[qi] != ref[qi] {
+					t.Errorf("%s, rule %q disabled, query %d diverges:\ngot:\n%s\nwant:\n%s",
+						app, disabled, qi, got[qi], ref[qi])
+				}
+			}
+		}
+	}
+}
+
+func runQuerySuite(t *testing.T, dir string, app registrar.Approach, optDisable string, queries []string) []string {
+	t.Helper()
+	db, err := Open(dir, Config{Approach: app, OptDisable: optDisable})
+	if err != nil {
+		t.Fatalf("open %s (disable %s): %v", app, optDisable, err)
+	}
+	out := make([]string, 0, len(queries))
+	for qi, sql := range queries {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s (disable %s) query %d: %v", app, optDisable, qi, err)
+		}
+		out = append(out, renderRows(res))
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPlanCacheSize is the compiled-plan cache capacity (entries)
+// when none is configured.
+const DefaultPlanCacheSize = 256
+
+// PlanCacheStats reports compiled-plan cache activity.
+type PlanCacheStats struct {
+	Hits, Misses int64
+	Size         int
+	Capacity     int
+}
+
+// planCache is a bounded LRU of compiled statements keyed by normalized
+// SQL. It is safe for concurrent use; two goroutines racing to compile
+// the same statement both succeed (last insert wins — compilation is
+// idempotent, and compiled plans are immutable, so either entry serves
+// both).
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	c   *compiled
+}
+
+// newPlanCache returns a cache bounded to capacity entries; capacity
+// <= 0 disables caching (every Get misses, Put is a no-op).
+func newPlanCache(capacity int) *planCache {
+	pc := &planCache{cap: capacity}
+	if capacity > 0 {
+		pc.ll = list.New()
+		pc.m = make(map[string]*list.Element, capacity)
+	}
+	return pc
+}
+
+// Get returns the compiled statement for key, marking it most recently
+// used.
+func (pc *planCache) Get(key string) (*compiled, bool) {
+	if pc.cap <= 0 {
+		pc.misses.Add(1)
+		return nil, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.m[key]
+	if !ok {
+		pc.misses.Add(1)
+		return nil, false
+	}
+	pc.ll.MoveToFront(el)
+	pc.hits.Add(1)
+	return el.Value.(*cacheEntry).c, true
+}
+
+// Put inserts (or refreshes) a compiled statement, evicting the least
+// recently used entry beyond capacity.
+func (pc *planCache) Put(key string, c *compiled) {
+	if pc.cap <= 0 {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.m[key]; ok {
+		el.Value.(*cacheEntry).c = c
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.m[key] = pc.ll.PushFront(&cacheEntry{key: key, c: c})
+	for pc.ll.Len() > pc.cap {
+		last := pc.ll.Back()
+		pc.ll.Remove(last)
+		delete(pc.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats snapshots the counters.
+func (pc *planCache) Stats() PlanCacheStats {
+	st := PlanCacheStats{
+		Hits:     pc.hits.Load(),
+		Misses:   pc.misses.Load(),
+		Capacity: pc.cap,
+	}
+	if pc.cap > 0 {
+		pc.mu.Lock()
+		st.Size = pc.ll.Len()
+		pc.mu.Unlock()
+	}
+	return st
+}

@@ -147,7 +147,7 @@ func TestOrderByLimitThroughEngine(t *testing.T) {
 
 func TestSampleThroughSQL(t *testing.T) {
 	dir := genRepo(t, 4)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	res, err := db.Query(`
 		SELECT COUNT(*) AS n FROM dataview
 		WHERE F.station = 'FIAM' SAMPLE 50`)
@@ -172,7 +172,7 @@ func TestSampleThroughSQL(t *testing.T) {
 
 func TestExplainAnalyze(t *testing.T) {
 	dir := genRepo(t, 2)
-	db := open(t, dir, registrar.Lazy)
+	db := openOpt(t, dir, registrar.Lazy)
 	out, err := db.ExplainAnalyze(tQueries()[4])
 	if err != nil {
 		t.Fatal(err)

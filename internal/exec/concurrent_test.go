@@ -39,7 +39,7 @@ func runConcurrent(t *testing.T, env *Env, q *plan.Query, n int) []Stats {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, err := plan.Build(cat, q)
+			p, err := compile(cat, q)
 			if err != nil {
 				errs <- err
 				return
@@ -117,7 +117,7 @@ func TestConcurrentTransientQueriesAgree(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, err := plan.Build(cat, t4Query("ISK"))
+			p, err := compile(cat, t4Query("ISK"))
 			if err != nil {
 				errs <- err
 				return
@@ -169,7 +169,7 @@ func TestConcurrentQueriesUnderEvictionChurn(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				p, err := plan.Build(cat, t4Query("ISK"))
+				p, err := compile(cat, t4Query("ISK"))
 				if err != nil {
 					t.Error(err)
 					return

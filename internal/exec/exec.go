@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -199,7 +200,12 @@ func Execute(env *Env, p *plan.Plan) (*Result, error) {
 // ExecuteTraced runs a compiled plan and additionally returns the
 // per-operator row counts.
 func ExecuteTraced(ctx context.Context, env *Env, p *plan.Plan) (*Result, *Trace, error) {
-	ex := &executor{ctx: ctx, env: env, plan: p, trace: &Trace{}}
+	return ExecuteTracedParams(ctx, env, p, nil)
+}
+
+// ExecuteTracedParams is ExecuteTraced with statement arguments.
+func ExecuteTracedParams(ctx context.Context, env *Env, p *plan.Plan, params []*expr.Const) (*Result, *Trace, error) {
+	ex := &executor{ctx: ctx, env: env, plan: p, params: params, trace: &Trace{}}
 	res, err := ex.run()
 	return res, ex.trace, err
 }
@@ -208,15 +214,24 @@ func ExecuteTraced(ctx context.Context, env *Env, p *plan.Plan) (*Result, *Trace
 // executor checks the context between batches and before every chunk
 // ingestion, so long-running lazy loads abort promptly.
 func ExecuteContext(ctx context.Context, env *Env, p *plan.Plan) (*Result, error) {
-	ex := &executor{ctx: ctx, env: env, plan: p}
+	return ExecuteParams(ctx, env, p, nil)
+}
+
+// ExecuteParams runs a compiled plan with statement arguments bound to
+// its parameter placeholders. The plan is not modified: parameters are
+// substituted into per-execution expression clones, so one cached plan
+// serves any number of concurrent executions with different arguments.
+func ExecuteParams(ctx context.Context, env *Env, p *plan.Plan, params []*expr.Const) (*Result, error) {
+	ex := &executor{ctx: ctx, env: env, plan: p, params: params}
 	return ex.run()
 }
 
 type executor struct {
-	ctx   context.Context
-	env   *Env
-	plan  *plan.Plan
-	trace *Trace
+	ctx    context.Context
+	env    *Env
+	plan   *plan.Plan
+	params []*expr.Const
+	trace  *Trace
 
 	qfRel   *storage.Relation
 	qfNames []string
@@ -258,6 +273,9 @@ type pinnedChunk struct {
 func (ex *executor) run() (*Result, error) {
 	if ex.ctx == nil {
 		ex.ctx = context.Background()
+	}
+	if n := ex.plan.NumParams; n > len(ex.params) {
+		return nil, fmt.Errorf("exec: plan needs %d argument(s), got %d", n, len(ex.params))
 	}
 	ex.env.inflight.Add(1)
 	defer ex.env.inflight.Add(-1)
@@ -610,6 +628,18 @@ func (ex *executor) release() {
 	ex.pinned = nil
 }
 
+// rexpr prepares a plan expression for this execution: an expression
+// carrying parameter placeholders is substituted with the execution's
+// argument values on a fresh clone, leaving the (possibly cached and
+// shared) plan untouched. Parameter-free expressions pass through —
+// the physical operator constructors clone before binding anyway.
+func (ex *executor) rexpr(e expr.Expr) (expr.Expr, error) {
+	if e == nil || len(ex.params) == 0 || !expr.HasParams(e) {
+		return e, nil
+	}
+	return expr.SubstParams(e, ex.params)
+}
+
 // build constructs the physical operator tree for a plan subtree.
 // inStage1 marks that we are compiling Qf itself; otherwise an
 // encountered Qf node is replaced by a result-scan over the
@@ -669,7 +699,11 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 		if err != nil {
 			return nil, err
 		}
-		return physical.NewFilter(in, n.Pred)
+		pred, err := ex.rexpr(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewFilter(in, pred)
 	case *plan.Project:
 		in, err := ex.build(n.In, inStage1)
 		if err != nil {
@@ -678,7 +712,11 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 		names := make([]string, len(n.Cols))
 		exprs := make([]expr.Expr, len(n.Cols))
 		for i, c := range n.Cols {
-			names[i], exprs[i] = c.Name, c.Expr
+			e, err := ex.rexpr(c.Expr)
+			if err != nil {
+				return nil, err
+			}
+			names[i], exprs[i] = c.Name, e
 		}
 		return physical.NewProject(in, names, exprs)
 	case *plan.Aggregate:
@@ -696,7 +734,11 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 		}
 		aggs := make([]physical.AggColumn, len(n.Aggs))
 		for i, a := range n.Aggs {
-			aggs[i] = physical.AggColumn{Func: aggFuncID(a.Func), Arg: a.Arg, Name: a.Name}
+			arg, err := ex.rexpr(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			aggs[i] = physical.AggColumn{Func: aggFuncID(a.Func), Arg: arg, Name: a.Name}
 		}
 		return physical.NewHashAggregate(in, groupCols, aggs)
 	case *plan.Sort:
@@ -725,20 +767,28 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 }
 
 // buildScan realizes the access paths. Metadata tables use a plain
-// scan; actual-data tables are rewritten according to the mode and the
-// stage-one chunk selection (rewrite rule (1) of the paper, with the
-// scan predicate pushed into every branch).
+// scan — or the index-scan access path when the optimizer annotated the
+// node with a recognized index key; actual-data tables are rewritten
+// according to the mode and the stage-one chunk selection (rewrite rule
+// (1) of the paper, with the scan predicate pushed into every branch).
+// A pruned scan (n.Cols) reads only the referenced columns.
 func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 	t, ok := ex.env.Catalog.Table(n.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
 	}
 	names, kinds := n.Names(), n.Kinds()
+	filter, err := ex.rexpr(n.Filter)
+	if err != nil {
+		return nil, err
+	}
 	if t.Class != table.ActualData {
-		if op := ex.tryIndexScan(n, names, kinds); op != nil {
+		if op, err := ex.tryIndexScan(n, t, names, kinds); err != nil {
+			return nil, err
+		} else if op != nil {
 			return op, nil
 		}
-		return physical.NewRelScan(t.Data(), names, kinds, n.Filter)
+		return physical.NewMultiRelScanCols([]*storage.Relation{t.Data()}, names, kinds, filter, n.Cols)
 	}
 	var ids []int64
 	switch ex.env.Mode {
@@ -777,81 +827,105 @@ func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 	// The union of cache-scans and chunk-accesses over the selected
 	// chunks, collapsed into one scan whose batch list doubles as the
 	// morsel list of parallel execution; the selection is pushed down
-	// (NewMultiRelScan clones and binds the predicate).
-	return physical.NewMultiRelScan(rels, names, kinds, n.Filter)
+	// (NewMultiRelScanCols clones and binds the predicate).
+	return physical.NewMultiRelScanCols(rels, names, kinds, filter, n.Cols)
 }
 
 // tryIndexScan serves a metadata scan through a hash index when the
-// pushed-down filter pins every indexed column with an equality
-// constant; remaining conjuncts are applied on top. Returns nil when no
-// index applies.
-func (ex *executor) tryIndexScan(n *plan.Scan, names []string, kinds []storage.Kind) physical.Operator {
-	if n.Filter == nil || ex.env.MetaIndexes == nil {
-		return nil
+// optimizer annotated the node with a recognized key (plan.IndexHint)
+// and the environment has a matching index. The hint's key operands
+// (constants or parameters) are materialized into an index.Key here;
+// any mismatch — no such index, a parameter value of the wrong kind —
+// falls back to the plain scan path by returning (nil, nil).
+func (ex *executor) tryIndexScan(n *plan.Scan, t *table.Table, names []string, kinds []storage.Kind) (physical.Operator, error) {
+	hint := n.Index
+	if hint == nil || ex.env.MetaIndexes == nil {
+		return nil, nil
 	}
-	conjuncts := expr.Conjuncts(n.Filter)
-	for _, mi := range ex.env.MetaIndexes[n.Table] {
-		key, residual, ok := matchIndexKey(mi, n.Table, conjuncts)
-		if !ok {
-			continue
-		}
-		ex.stats.IndexScans++
-		var op physical.Operator = physical.NewIndexScan(mi.Ix, mi.Data, names, kinds, key)
-		if pred := expr.Conjoin(residual); pred != nil {
-			f, err := physical.NewFilter(op, pred)
-			if err != nil {
-				return nil
-			}
-			op = f
-		}
-		return op
-	}
-	return nil
-}
-
-// matchIndexKey extracts an index key from equality conjuncts covering
-// all of mi.Cols, returning the unused conjuncts as residual filter.
-func matchIndexKey(mi MetaIndex, tab string, conjuncts []expr.Expr) (index.Key, []expr.Expr, bool) {
-	var key index.Key
-	iSlot, sSlot := 0, 0
-	used := make([]bool, len(conjuncts))
-	for _, col := range mi.Cols {
-		found := false
-		for ci, c := range conjuncts {
-			if used[ci] {
-				continue
-			}
-			name, k, ok := expr.EqConst(c)
-			if !ok || (name != col && name != tab+"."+col) {
-				continue
-			}
-			switch k.K {
-			case storage.KindInt64, storage.KindTime:
-				if err := setKeyInt(&key, &iSlot, k.I); err != nil {
-					return key, nil, false
-				}
-			case storage.KindString:
-				if err := setKeyStr(&key, &sSlot, k.S); err != nil {
-					return key, nil, false
-				}
-			default:
-				continue
-			}
-			used[ci] = true
-			found = true
+	var mi *MetaIndex
+	for i := range ex.env.MetaIndexes[n.Table] {
+		if slices.Equal(ex.env.MetaIndexes[n.Table][i].Cols, hint.Cols) {
+			mi = &ex.env.MetaIndexes[n.Table][i]
 			break
 		}
-		if !found {
-			return key, nil, false
+	}
+	if mi == nil {
+		return nil, nil
+	}
+	key, ok, err := ex.materializeKey(hint)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	ex.stats.IndexScans++
+	fullNames, fullKinds := t.Schema.QualifiedNames(t.Name), t.Schema.Kinds()
+	var op physical.Operator = physical.NewIndexScan(mi.Ix, mi.Data, fullNames, fullKinds, key)
+	if hint.Residual != nil {
+		pred, err := ex.rexpr(hint.Residual)
+		if err != nil {
+			return nil, err
+		}
+		f, err := physical.NewFilter(op, pred)
+		if err != nil {
+			return nil, err
+		}
+		op = f
+	}
+	if n.Cols != nil {
+		// Narrow the full-width index rows to the pruned scan schema.
+		exprs := make([]expr.Expr, len(names))
+		for i, nm := range names {
+			exprs[i] = expr.Col(nm)
+		}
+		p, err := physical.NewProject(op, names, exprs)
+		if err != nil {
+			return nil, err
+		}
+		op = p
+	}
+	return op, nil
+}
+
+// materializeKey turns an IndexHint's key operands into an index.Key,
+// substituting parameter values. ok=false (without error) means the
+// run-time values do not fit the index (fall back to a filtered scan).
+func (ex *executor) materializeKey(hint *plan.IndexHint) (index.Key, bool, error) {
+	var key index.Key
+	iSlot, sSlot := 0, 0
+	for i, e := range hint.Key {
+		k, isConst := e.(*expr.Const)
+		if !isConst {
+			p, isParam := e.(*expr.Param)
+			if !isParam {
+				return key, false, fmt.Errorf("exec: index key operand %T", e)
+			}
+			if p.Ord < 0 || p.Ord >= len(ex.params) {
+				return key, false, fmt.Errorf("exec: index key parameter ?%d has no argument", p.Ord+1)
+			}
+			k = ex.params[p.Ord]
+		}
+		switch hint.Kinds[i] {
+		case storage.KindInt64, storage.KindTime:
+			if k.K != storage.KindInt64 && k.K != storage.KindTime {
+				return key, false, nil
+			}
+			if err := setKeyInt(&key, &iSlot, k.I); err != nil {
+				return key, false, nil
+			}
+		case storage.KindString:
+			if k.K != storage.KindString {
+				return key, false, nil
+			}
+			if err := setKeyStr(&key, &sSlot, k.S); err != nil {
+				return key, false, nil
+			}
+		default:
+			return key, false, nil
 		}
 	}
-	var residual []expr.Expr
-	for ci, c := range conjuncts {
-		if !used[ci] {
-			residual = append(residual, c)
-		}
-	}
-	return key, residual, true
+	return key, true, nil
 }
 
 func setKeyInt(k *index.Key, slot *int, v int64) error {

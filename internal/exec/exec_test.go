@@ -10,11 +10,23 @@ import (
 
 	"sommelier/internal/cache"
 	"sommelier/internal/expr"
+	"sommelier/internal/opt"
 	"sommelier/internal/plan"
 	"sommelier/internal/seismic"
 	"sommelier/internal/storage"
 	"sommelier/internal/table"
 )
+
+// compile is the test shorthand for the engine's compile pipeline:
+// name resolution (plan.Build) followed by the full rule-based
+// optimizer, without index access paths.
+func compile(cat *table.Catalog, q *plan.Query) (*plan.Plan, error) {
+	p, err := plan.Build(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(&opt.Context{Catalog: cat}, p, opt.Default())
+}
 
 // fakeLoader serves synthetic chunks: chunk id n holds rows with
 // sample values n*100 .. n*100+9 and records every load.
@@ -134,7 +146,7 @@ func lazyEnv(cat *table.Catalog, loader ChunkLoader, rec *cache.Recycler) *Env {
 
 func TestLazyLoadsOnlySelectedChunks(t *testing.T) {
 	cat, loader := setupCatalog(t, 10)
-	p, err := plan.Build(cat, t4Query("ISK"))
+	p, err := compile(cat, t4Query("ISK"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +186,7 @@ func TestLazyCacheHitsOnSecondRun(t *testing.T) {
 	d, _ := cat.Table(seismic.TableD)
 	rec := cache.New(1<<30, cache.LRU, func(id int64) { d.DropChunk(id) })
 	env := lazyEnv(cat, loader, rec)
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	res1, err := Execute(env, p)
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +194,7 @@ func TestLazyCacheHitsOnSecondRun(t *testing.T) {
 	if res1.Stats.CacheHits != 0 || res1.Stats.ChunksLoaded != 5 {
 		t.Fatalf("first run stats = %+v", res1.Stats)
 	}
-	p2, _ := plan.Build(cat, t4Query("ISK"))
+	p2, _ := compile(cat, t4Query("ISK"))
 	res2, err := Execute(env, p2)
 	if err != nil {
 		t.Fatal(err)
@@ -213,12 +225,12 @@ func TestCacheEvictionReloads(t *testing.T) {
 	}
 	rec := cache.New(chunkSize*2+1, cache.LRU, func(id int64) { d.DropChunk(id) })
 	env := lazyEnv(cat, loader, rec)
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	if _, err := Execute(env, p); err != nil {
 		t.Fatal(err)
 	}
 	// Only 2 of 5 chunks fit; a second run must reload the evicted 3.
-	p2, _ := plan.Build(cat, t4Query("ISK"))
+	p2, _ := compile(cat, t4Query("ISK"))
 	res, err := Execute(env, p2)
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +256,7 @@ func TestEagerFullScansEverything(t *testing.T) {
 	}
 	loader.loads = nil
 	env := &Env{Catalog: cat, Mode: ModeEagerFull}
-	p, _ := plan.Build(cat, t4Query("FIAM"))
+	p, _ := compile(cat, t4Query("FIAM"))
 	res, err := Execute(env, p)
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +285,7 @@ func TestEagerIndexedPrunesChunks(t *testing.T) {
 		}
 	}
 	env := &Env{Catalog: cat, Mode: ModeEagerIndexed}
-	p, _ := plan.Build(cat, t4Query("FIAM"))
+	p, _ := compile(cat, t4Query("FIAM"))
 	res, err := Execute(env, p)
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +309,7 @@ func TestLazyEagerEquivalence(t *testing.T) {
 	// same answers.
 	for _, station := range []string{"ISK", "FIAM"} {
 		catL, loaderL := setupCatalog(t, 8)
-		pL, _ := plan.Build(catL, t4Query(station))
+		pL, _ := compile(catL, t4Query(station))
 		resL, err := Execute(lazyEnv(catL, loaderL, nil), pL)
 		if err != nil {
 			t.Fatal(err)
@@ -312,7 +324,7 @@ func TestLazyEagerEquivalence(t *testing.T) {
 			}
 		}
 		dE.AppendChunk(-1, all)
-		pE, _ := plan.Build(catE, t4Query(station))
+		pE, _ := compile(catE, t4Query(station))
 		resE, err := Execute(&Env{Catalog: catE, Mode: ModeEagerFull}, pE)
 		if err != nil {
 			t.Fatal(err)
@@ -332,7 +344,7 @@ func TestMetadataOnlyQueryLoadsNothing(t *testing.T) {
 		From:   seismic.TableF,
 		Where:  expr.NewCmp(expr.EQ, expr.Col("station"), expr.Str("ISK")),
 	}
-	p, err := plan.Build(cat, q)
+	p, err := compile(cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +363,7 @@ func TestMetadataOnlyQueryLoadsNothing(t *testing.T) {
 func TestChunkLoadFailureSurfaces(t *testing.T) {
 	cat, loader := setupCatalog(t, 4)
 	loader.fail[2] = true
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	if _, err := Execute(lazyEnv(cat, loader, nil), p); err == nil {
 		t.Fatal("failed chunk load not surfaced")
 	}
@@ -361,7 +373,7 @@ func TestSerialVsParallelLoadSameResult(t *testing.T) {
 	catP, loaderP := setupCatalog(t, 12)
 	loaderP.delay = time.Millisecond
 	envP := lazyEnv(catP, loaderP, nil)
-	pP, _ := plan.Build(catP, t4Query("ISK"))
+	pP, _ := compile(catP, t4Query("ISK"))
 	resP, err := Execute(envP, pP)
 	if err != nil {
 		t.Fatal(err)
@@ -370,7 +382,7 @@ func TestSerialVsParallelLoadSameResult(t *testing.T) {
 	loaderS.delay = time.Millisecond
 	envS := lazyEnv(catS, loaderS, nil)
 	envS.MaxParallel = 1
-	pS, _ := plan.Build(catS, t4Query("ISK"))
+	pS, _ := compile(catS, t4Query("ISK"))
 	resS, err := Execute(envS, pS)
 	if err != nil {
 		t.Fatal(err)
@@ -388,7 +400,7 @@ func TestSerialVsParallelLoadSameResult(t *testing.T) {
 
 func TestSelectedChunksAreSorted(t *testing.T) {
 	cat, loader := setupCatalog(t, 9)
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	ex := &executor{env: lazyEnv(cat, loader, nil), plan: p}
 	res, err := ex.run()
 	if err != nil {
@@ -404,7 +416,7 @@ func TestSelectedChunksAreSorted(t *testing.T) {
 func TestStatsTiming(t *testing.T) {
 	cat, loader := setupCatalog(t, 4)
 	loader.delay = 2 * time.Millisecond
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	res, err := Execute(lazyEnv(cat, loader, nil), p)
 	if err != nil {
 		t.Fatal(err)
@@ -422,7 +434,7 @@ func TestContextCancellation(t *testing.T) {
 	loader.delay = 5 * time.Millisecond
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // cancelled before execution
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	if _, err := ExecuteContext(ctx, lazyEnv(cat, loader, nil), p); err == nil {
 		t.Fatal("cancelled context not honoured")
 	}
@@ -433,7 +445,7 @@ func TestContextCancellation(t *testing.T) {
 	defer cancel2()
 	env := lazyEnv(cat2, loader2, nil)
 	env.MaxParallel = 1
-	p2, _ := plan.Build(cat2, t4Query("ISK"))
+	p2, _ := compile(cat2, t4Query("ISK"))
 	if _, err := ExecuteContext(ctx2, env, p2); err == nil {
 		t.Fatal("timeout not honoured during chunk ingestion")
 	}

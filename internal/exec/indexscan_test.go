@@ -5,11 +5,28 @@ import (
 
 	"sommelier/internal/expr"
 	"sommelier/internal/index"
+	"sommelier/internal/opt"
 	"sommelier/internal/plan"
 	"sommelier/internal/seismic"
 	"sommelier/internal/storage"
 	"sommelier/internal/table"
 )
+
+// compileIx compiles with the environment's index access paths exposed
+// to the optimizer's index-key recognition rule.
+func compileIx(env *Env, cat *table.Catalog, q *plan.Query) (*plan.Plan, error) {
+	p, err := plan.Build(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &opt.Context{Catalog: cat, MetaIndexes: map[string][][]string{}}
+	for tn, mis := range env.MetaIndexes {
+		for _, mi := range mis {
+			ctx.MetaIndexes[tn] = append(ctx.MetaIndexes[tn], mi.Cols)
+		}
+	}
+	return opt.Optimize(ctx, p, opt.Default())
+}
 
 // indexedEnv clusters all chunks and builds a (station, channel) index
 // on F, mirroring the eager_index investment.
@@ -55,7 +72,7 @@ func TestIndexScanUsedForPinnedColumns(t *testing.T) {
 			expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.Str("HHZ")),
 		}),
 	}
-	p, err := plan.Build(cat, q)
+	p, err := compileIx(env, cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +113,7 @@ func TestIndexScanResidualPredicate(t *testing.T) {
 			expr.NewCmp(expr.EQ, expr.Col("uri"), expr.Str("repo/chunk-0.msl")),
 		}),
 	}
-	p, err := plan.Build(cat, q)
+	p, err := compileIx(env, cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +137,7 @@ func TestIndexScanNotUsedForPartialKey(t *testing.T) {
 		From:   seismic.TableF,
 		Where:  expr.NewCmp(expr.EQ, expr.Col("station"), expr.Str("ISK")),
 	}
-	p, _ := plan.Build(cat, q)
+	p, _ := compileIx(env, cat, q)
 	res, err := Execute(env, p)
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +160,7 @@ func TestIndexScanAbsentKeyReturnsEmpty(t *testing.T) {
 			expr.NewCmp(expr.EQ, expr.Col("channel"), expr.Str("HHZ")),
 		}),
 	}
-	p, _ := plan.Build(cat, q)
+	p, _ := compileIx(env, cat, q)
 	res, err := Execute(env, p)
 	if err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ func sampledT4(station string, pct float64) *plan.Query {
 func TestSamplingReducesChunks(t *testing.T) {
 	cat, loader := setupCatalog(t, 20) // 10 ISK chunks
 	q := sampledT4("ISK", 40)
-	p, err := plan.Build(cat, q)
+	p, err := compile(cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,13 +39,13 @@ func TestSamplingReducesChunks(t *testing.T) {
 
 func TestSamplingDeterministic(t *testing.T) {
 	catA, loaderA := setupCatalog(t, 20)
-	pA, _ := plan.Build(catA, sampledT4("ISK", 30))
+	pA, _ := compile(catA, sampledT4("ISK", 30))
 	resA, err := Execute(lazyEnv(catA, loaderA, nil), pA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	catB, loaderB := setupCatalog(t, 20)
-	pB, _ := plan.Build(catB, sampledT4("ISK", 30))
+	pB, _ := compile(catB, sampledT4("ISK", 30))
 	resB, err := Execute(lazyEnv(catB, loaderB, nil), pB)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestSamplingDeterministic(t *testing.T) {
 
 func TestSamplingExactAnswerWithoutSample(t *testing.T) {
 	cat, loader := setupCatalog(t, 10)
-	p, _ := plan.Build(cat, t4Query("ISK"))
+	p, _ := compile(cat, t4Query("ISK"))
 	res, err := Execute(lazyEnv(cat, loader, nil), p)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestSamplingExactAnswerWithoutSample(t *testing.T) {
 
 func TestSamplingAtLeastOneChunk(t *testing.T) {
 	cat, loader := setupCatalog(t, 4) // 2 ISK chunks
-	p, _ := plan.Build(cat, sampledT4("ISK", 1))
+	p, _ := compile(cat, sampledT4("ISK", 1))
 	res, err := Execute(lazyEnv(cat, loader, nil), p)
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +91,7 @@ func TestSamplingSkipsMetadataOnlyQueries(t *testing.T) {
 		From:      seismic.TableF,
 		SamplePct: 10,
 	}
-	p, err := plan.Build(cat, q)
+	p, err := compile(cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,14 +110,14 @@ func TestSamplePctValidation(t *testing.T) {
 	for _, pct := range []float64{-1, 101} {
 		q := t4Query("ISK")
 		q.SamplePct = pct
-		if _, err := plan.Build(cat, q); err == nil {
+		if _, err := compile(cat, q); err == nil {
 			t.Errorf("SamplePct %v accepted", pct)
 		}
 	}
 	// 100 behaves as exact.
 	q := t4Query("ISK")
 	q.SamplePct = 100
-	p, err := plan.Build(cat, q)
+	p, err := compile(cat, q)
 	if err != nil {
 		t.Fatal(err)
 	}

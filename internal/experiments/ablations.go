@@ -7,6 +7,7 @@ import (
 
 	"sommelier/internal/cache"
 	"sommelier/internal/engine"
+	"sommelier/internal/opt"
 	"sommelier/internal/plan"
 	"sommelier/internal/registrar"
 	"sommelier/internal/sqlparse"
@@ -146,6 +147,10 @@ func AblationJoinRules(cfg Config) ([]JoinRuleRow, error) {
 		return nil, err
 	}
 	p, err := plan.Build(db.Catalog(), q)
+	if err != nil {
+		return nil, err
+	}
+	p, err = opt.Optimize(&opt.Context{Catalog: db.Catalog()}, p, opt.Default())
 	if err != nil {
 		return nil, err
 	}

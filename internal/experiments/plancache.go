@@ -1,0 +1,119 @@
+package experiments
+
+// The compiled-plan cache benchmark: how much per-query compilation
+// (parse + plan.Build + opt) the cache and prepared statements save on
+// a hot lazy workload, and what the prepared-vs-direct QPS ratio looks
+// like. `benchrunner -plancache-json` dumps the numbers to
+// BENCH_plancache.json via `make bench-json`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sommelier/internal/registrar"
+)
+
+// PlanCacheMetrics is the machine-readable plan-cache headline.
+type PlanCacheMetrics struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	ScaleFactor   int   `json:"scale_factor"`
+	// CompileColdUS is the full compile cost on a cache miss (parse +
+	// plan.Build + opt); CompileHitUS is what remains of the direct-SQL
+	// path on a hit (parse + normalized-key lookup). The prepared path
+	// compiles nothing at all.
+	CompileColdUS float64 `json:"compile_cold_us"`
+	CompileHitUS  float64 `json:"compile_hit_us"`
+	// HitRate is plan-cache hits over lookups for the measured workload.
+	HitRate float64 `json:"hit_rate"`
+	// DirectQPS replays the same hot T4 statement as SQL text per call;
+	// PreparedQPS replays it through one prepared statement handle.
+	DirectQPS          float64 `json:"direct_qps"`
+	PreparedQPS        float64 `json:"prepared_qps"`
+	PreparedOverDirect float64 `json:"prepared_over_direct"`
+}
+
+// CollectPlanCache measures the plan-cache headline on the first scale
+// factor: compile-time cold vs hit, cache hit rate, and direct-SQL vs
+// prepared-statement throughput of the hot T4 query.
+func CollectPlanCache(cfg Config) (*PlanCacheMetrics, error) {
+	sf := cfg.ScaleFactors[0]
+	dir, _, err := cfg.Repo(sf, false)
+	if err != nil {
+		return nil, err
+	}
+	db, err := openDB(dir, registrar.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	start, _ := cfg.span(sf)
+	sql := queryT4("FIAM", start, start+2*int64(24*time.Hour))
+
+	m := &PlanCacheMetrics{GeneratedUnix: time.Now().Unix(), ScaleFactor: sf}
+
+	// Cold compile, then hot-path compile cost over repeated runs.
+	res, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	m.CompileColdUS = float64(res.Compile.Microseconds())
+	const runs = 200
+	var hitCompile time.Duration
+	for i := 0; i < runs; i++ {
+		res, err := db.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		if !res.PlanCacheHit {
+			return nil, fmt.Errorf("plancache: hot run %d missed the cache", i)
+		}
+		hitCompile += res.Compile
+	}
+	m.CompileHitUS = float64(hitCompile.Microseconds()) / runs
+
+	// Direct-path QPS: parse + cache lookup + execute per call.
+	t0 := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := db.Query(sql); err != nil {
+			return nil, err
+		}
+	}
+	m.DirectQPS = runs / time.Since(t0).Seconds()
+
+	// Prepared-path QPS: zero compile work per call.
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := stmt.Query(); err != nil {
+			return nil, err
+		}
+	}
+	m.PreparedQPS = runs / time.Since(t0).Seconds()
+	if m.DirectQPS > 0 {
+		m.PreparedOverDirect = m.PreparedQPS / m.DirectQPS
+	}
+
+	st := db.PlanCacheStats()
+	if total := st.Hits + st.Misses; total > 0 {
+		m.HitRate = float64(st.Hits) / float64(total)
+	}
+	return m, nil
+}
+
+// WritePlanCacheJSON collects the plan-cache metrics and writes them as
+// indented JSON to path.
+func WritePlanCacheJSON(cfg Config, path string) error {
+	m, err := CollectPlanCache(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -225,6 +225,37 @@ func (c *Const) eval(n int) storage.Column {
 // Walk implements Expr.
 func (c *Const) Walk(fn func(Expr)) { fn(c) }
 
+// Param is a statement parameter placeholder (a `?` marker, or a
+// literal the parser auto-parameterized). A compiled plan carries Param
+// nodes unbound; the executor substitutes the per-execution argument
+// values (SubstParams) before any operator binds the expression, so a
+// Param never survives to Bind or Eval in a well-formed execution.
+type Param struct {
+	// Ord is the zero-based parameter ordinal, in source order.
+	Ord int
+}
+
+// NewParam returns the placeholder for parameter ord (zero-based).
+func NewParam(ord int) *Param { return &Param{Ord: ord} }
+
+// String implements Expr.
+func (p *Param) String() string { return fmt.Sprintf("?%d", p.Ord+1) }
+
+// Bind implements Expr. A parameter cannot be typed without a value;
+// reaching Bind means the expression escaped substitution (e.g. a
+// parameter outside the WHERE clause).
+func (p *Param) Bind([]string, []storage.Kind) (storage.Kind, error) {
+	return storage.KindInvalid, fmt.Errorf("expr: parameter ?%d not bound to a value (parameters are only supported in WHERE predicates)", p.Ord+1)
+}
+
+// Eval implements Expr.
+func (p *Param) Eval(*storage.Batch) storage.Column {
+	panic(fmt.Sprintf("expr: Eval of unsubstituted parameter ?%d", p.Ord+1))
+}
+
+// Walk implements Expr.
+func (p *Param) Walk(fn func(Expr)) { fn(p) }
+
 // Cmp is a binary comparison.
 type Cmp struct {
 	Op   CmpOp

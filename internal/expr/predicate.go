@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"fmt"
 	"strings"
 
 	"sommelier/internal/storage"
@@ -162,6 +163,107 @@ func JoinEq(e Expr) (left, right string, ok bool) {
 	return "", "", false
 }
 
+// HasParams reports whether e contains any parameter placeholder.
+func HasParams(e Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	e.Walk(func(x Expr) {
+		if _, ok := x.(*Param); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// NumParams returns the number of distinct parameters referenced by e
+// (the highest ordinal + 1); 0 when e is nil or parameter-free.
+func NumParams(e Expr) int {
+	n := 0
+	if e == nil {
+		return 0
+	}
+	e.Walk(func(x Expr) {
+		if p, ok := x.(*Param); ok && p.Ord+1 > n {
+			n = p.Ord + 1
+		}
+	})
+	return n
+}
+
+// SubstParams returns a deep copy of e with every Param replaced by a
+// copy of the corresponding constant in vals. The input expression is
+// not modified, so one cached plan can be executed concurrently with
+// different argument sets.
+func SubstParams(e Expr, vals []*Const) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	switch e := e.(type) {
+	case *ColRef:
+		return &ColRef{Name: e.Name, Idx: -1}, nil
+	case *Const:
+		cc := *e
+		return &cc, nil
+	case *Param:
+		if e.Ord < 0 || e.Ord >= len(vals) || vals[e.Ord] == nil {
+			return nil, fmt.Errorf("expr: parameter ?%d has no argument (%d given)", e.Ord+1, len(vals))
+		}
+		cc := *vals[e.Ord]
+		cc.memo, cc.memoLen = nil, 0
+		return &cc, nil
+	case *Cmp:
+		l, err := SubstParams(e.L, vals)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstParams(e.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: e.Op, L: l, R: r}, nil
+	case *And:
+		l, err := SubstParams(e.L, vals)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstParams(e.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &And{L: l, R: r}, nil
+	case *Or:
+		l, err := SubstParams(e.L, vals)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstParams(e.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Or{L: l, R: r}, nil
+	case *Not:
+		in, err := SubstParams(e.E, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: in}, nil
+	case *Arith:
+		l, err := SubstParams(e.L, vals)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstParams(e.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: e.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("expr: SubstParams of unknown node %T", e)
+	}
+}
+
 // Clone deep-copies an expression tree so one logical predicate can be
 // bound against several operator schemas independently.
 func Clone(e Expr) Expr {
@@ -174,6 +276,9 @@ func Clone(e Expr) Expr {
 	case *Const:
 		cc := *e
 		return &cc
+	case *Param:
+		pc := *e
+		return &pc
 	case *Cmp:
 		return &Cmp{Op: e.Op, L: Clone(e.L), R: Clone(e.R)}
 	case *And:

@@ -1,0 +1,193 @@
+package opt
+
+import (
+	"sommelier/internal/expr"
+	"sommelier/internal/storage"
+)
+
+// fold returns e with constant sub-expressions evaluated at compile
+// time, and whether anything changed. Unchanged subtrees are shared,
+// never copied; folding never alters run-time semantics (anything with
+// mixed or unexpected kinds is left for the executor to evaluate or
+// reject).
+func fold(e expr.Expr) (expr.Expr, bool) {
+	switch e := e.(type) {
+	case *expr.Arith:
+		l, lc := fold(e.L)
+		r, rc := fold(e.R)
+		if lk, lok := l.(*expr.Const); lok {
+			if rk, rok := r.(*expr.Const); rok {
+				if k, ok := foldArith(e.Op, lk, rk); ok {
+					return k, true
+				}
+			}
+		}
+		if lc || rc {
+			return expr.NewArith(e.Op, l, r), true
+		}
+		return e, false
+	case *expr.Cmp:
+		l, lc := fold(e.L)
+		r, rc := fold(e.R)
+		if lk, lok := l.(*expr.Const); lok {
+			if rk, rok := r.(*expr.Const); rok {
+				if b, ok := foldCmp(e.Op, lk, rk); ok {
+					return expr.Bool(b), true
+				}
+			}
+		}
+		if lc || rc {
+			return expr.NewCmp(e.Op, l, r), true
+		}
+		return e, false
+	case *expr.And:
+		l, lc := fold(e.L)
+		r, rc := fold(e.R)
+		if b, ok := boolConst(l); ok {
+			if !b {
+				return expr.Bool(false), true
+			}
+			return r, true
+		}
+		if b, ok := boolConst(r); ok {
+			if !b {
+				return expr.Bool(false), true
+			}
+			return l, true
+		}
+		if lc || rc {
+			return expr.NewAnd(l, r), true
+		}
+		return e, false
+	case *expr.Or:
+		l, lc := fold(e.L)
+		r, rc := fold(e.R)
+		if b, ok := boolConst(l); ok {
+			if b {
+				return expr.Bool(true), true
+			}
+			return r, true
+		}
+		if b, ok := boolConst(r); ok {
+			if b {
+				return expr.Bool(true), true
+			}
+			return l, true
+		}
+		if lc || rc {
+			return expr.NewOr(l, r), true
+		}
+		return e, false
+	case *expr.Not:
+		in, c := fold(e.E)
+		if b, ok := boolConst(in); ok {
+			return expr.Bool(!b), true
+		}
+		if c {
+			return expr.NewNot(in), true
+		}
+		return e, false
+	default:
+		return e, false
+	}
+}
+
+func boolConst(e expr.Expr) (bool, bool) {
+	if k, ok := e.(*expr.Const); ok && k.K == storage.KindBool {
+		return k.B, true
+	}
+	return false, false
+}
+
+// foldArith evaluates a constant arithmetic node over int64/float64
+// operands, mirroring the executor's promotion rules: division is
+// always float, so a constant division by zero folds to the same
+// ±Inf/NaN the run-time float kernel would produce.
+func foldArith(op expr.ArithOp, l, r *expr.Const) (*expr.Const, bool) {
+	num := func(k *expr.Const) (float64, bool, bool) { // value, isFloat, ok
+		switch k.K {
+		case storage.KindInt64:
+			return float64(k.I), false, true
+		case storage.KindFloat64:
+			return k.F, true, true
+		}
+		return 0, false, false
+	}
+	lv, lf, lok := num(l)
+	rv, rf, rok := num(r)
+	if !lok || !rok {
+		return nil, false
+	}
+	if op == expr.Div || lf || rf {
+		var out float64
+		switch op {
+		case expr.Add:
+			out = lv + rv
+		case expr.Sub:
+			out = lv - rv
+		case expr.Mul:
+			out = lv * rv
+		case expr.Div:
+			out = lv / rv
+		}
+		return expr.Float(out), true
+	}
+	switch op {
+	case expr.Add:
+		return expr.Int(l.I + r.I), true
+	case expr.Sub:
+		return expr.Int(l.I - r.I), true
+	case expr.Mul:
+		return expr.Int(l.I * r.I), true
+	}
+	return nil, false
+}
+
+// foldCmp evaluates a constant comparison when both operands share a
+// comparable kind class; mixed classes (e.g. a string that would
+// coerce to a timestamp against a column) are left alone.
+func foldCmp(op expr.CmpOp, l, r *expr.Const) (bool, bool) {
+	isNum := func(k storage.Kind) bool { return k == storage.KindInt64 || k == storage.KindFloat64 }
+	switch {
+	case isNum(l.K) && isNum(r.K):
+		lv, rv := constFloat(l), constFloat(r)
+		return cmpOrd(op, lv, rv), true
+	case l.K == storage.KindString && r.K == storage.KindString:
+		return cmpOrd(op, l.S, r.S), true
+	case (l.K == storage.KindTime || l.K == storage.KindInt64) && (r.K == storage.KindTime || r.K == storage.KindInt64):
+		return cmpOrd(op, l.I, r.I), true
+	case l.K == storage.KindBool && r.K == storage.KindBool:
+		switch op {
+		case expr.EQ:
+			return l.B == r.B, true
+		case expr.NE:
+			return l.B != r.B, true
+		}
+	}
+	return false, false
+}
+
+func constFloat(k *expr.Const) float64 {
+	if k.K == storage.KindFloat64 {
+		return k.F
+	}
+	return float64(k.I)
+}
+
+func cmpOrd[T int64 | float64 | string](op expr.CmpOp, l, r T) bool {
+	switch op {
+	case expr.EQ:
+		return l == r
+	case expr.NE:
+		return l != r
+	case expr.LT:
+		return l < r
+	case expr.LE:
+		return l <= r
+	case expr.GT:
+		return l > r
+	case expr.GE:
+		return l >= r
+	}
+	return false
+}

@@ -108,6 +108,10 @@ type RelScan struct {
 	morsels []scanMorsel
 	bounds  []zoneBound
 	pos     int
+	// srcCols maps output columns to source-relation columns (the
+	// optimizer's projection pruning); nil is the identity. Emitted
+	// batches share the selected column vectors — no copying.
+	srcCols []int
 	// skipped counts zone-pruned batches; shared by the range scans a
 	// Split produces, so the parent's Skipped sees the whole scan.
 	skipped *atomic.Int64
@@ -138,7 +142,15 @@ func NewRelScan(rel *storage.Relation, names []string, kinds []storage.Kind, pre
 // relations sharing a schema (the chunks a query selected), streamed in
 // slice order.
 func NewMultiRelScan(rels []*storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) (*RelScan, error) {
-	s := &RelScan{names: names, kinds: kinds, skipped: new(atomic.Int64)}
+	return NewMultiRelScanCols(rels, names, kinds, pred, nil)
+}
+
+// NewMultiRelScanCols is NewMultiRelScan restricted to the source
+// columns at srcCols (nil reads every column): names/kinds describe the
+// narrowed output schema, and the predicate is bound against it. The
+// zone maps of the source relations still drive batch skipping.
+func NewMultiRelScanCols(rels []*storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr, srcCols []int) (*RelScan, error) {
+	s := &RelScan{names: names, kinds: kinds, srcCols: srcCols, skipped: new(atomic.Int64)}
 	for _, rel := range rels {
 		for i := range rel.Batches() {
 			s.morsels = append(s.morsels, scanMorsel{rel: rel, idx: i})
@@ -248,6 +260,7 @@ func (s *RelScan) Split(n int) ([]Operator, error) {
 			kinds:   s.kinds,
 			morsels: rest[r[0]:r[1]],
 			bounds:  s.bounds,
+			srcCols: s.srcCols,
 			skipped: s.skipped,
 		}
 		if s.pred != nil {
@@ -268,13 +281,22 @@ func (s *RelScan) Next() (*storage.Batch, error) {
 	for s.pos < len(s.morsels) {
 		m := s.morsels[s.pos]
 		s.pos++
-		b := m.rel.Batches()[m.idx]
-		if s.pred == nil {
-			return b, nil
-		}
-		if s.pruneByZone(m) {
+		// Zone pruning consults the source relation directly, so a
+		// skipped batch costs no projection work.
+		if s.pred != nil && s.pruneByZone(m) {
 			s.skipped.Add(1)
 			continue
+		}
+		b := m.rel.Batches()[m.idx]
+		if s.srcCols != nil {
+			cols := make([]storage.Column, len(s.srcCols))
+			for i, sc := range s.srcCols {
+				cols[i] = b.Cols[sc]
+			}
+			b = storage.NewBatch(cols...)
+		}
+		if s.pred == nil {
+			return b, nil
 		}
 		sel := expr.EvalSel(s.pred, b, nil)
 		if len(sel) == 0 {
@@ -291,10 +313,16 @@ func (s *RelScan) Next() (*storage.Batch, error) {
 }
 
 // pruneByZone reports that the morsel's batch cannot contain qualifying
-// rows.
+// rows. Bound columns are indexes into the (possibly narrowed) output
+// schema; the source relation's zone maps are consulted through the
+// column mapping.
 func (s *RelScan) pruneByZone(m scanMorsel) bool {
 	for _, zb := range s.bounds {
-		if m.rel.Zone(m.idx, zb.col).Disjoint(zb.lo, zb.hi) {
+		col := zb.col
+		if s.srcCols != nil {
+			col = s.srcCols[col]
+		}
+		if m.rel.Zone(m.idx, col).Disjoint(zb.lo, zb.hi) {
 			return true
 		}
 	}

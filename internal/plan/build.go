@@ -34,11 +34,20 @@ type Query struct {
 
 // Plan is a compiled query: the operator tree plus the Qf marker that
 // tells the executor where stage one ends.
+//
+// Build produces the unoptimized form: name-resolved, typed, with every
+// WHERE conjunct evaluated in a residual selection above the join tree
+// and Qf unset. The rule-based optimizer (internal/opt) rewrites Root,
+// sets Qf/Graph/Order and records its work in RuleLog. A fully built
+// (and optimized) Plan is immutable: executions bind expression clones,
+// so one Plan may be shared by any number of concurrent queries — the
+// property the engine's compiled-plan cache relies on.
 type Plan struct {
 	Root Node
 	// Qf is the highest sub-plan whose leaves are only metadata
-	// tables; nil when the query has no metadata table. The executor
-	// evaluates it first to identify the chunks of interest.
+	// tables; nil when the query has no metadata table (or when the
+	// Qf/Qs split has not been applied). The executor evaluates it
+	// first to identify the chunks of interest.
 	Qf Node
 	// TwoStage reports whether the plan touches actual data and thus
 	// requires the run-time rewrite between the stages.
@@ -46,12 +55,32 @@ type Plan struct {
 	// Tables referenced, by class.
 	GMdTables, DMdTables, ADTables []string
 	// Graph and Order document the join-order decision for
-	// inspection and the ablation experiments.
+	// inspection and the ablation experiments (set by the optimizer's
+	// joinorder rule).
 	Graph *Graph
 	Order *Order
 	// SamplePct carries the query's approximative-answering request
 	// (0 = exact).
 	SamplePct float64
+
+	// Spec is the name-qualified private copy of the query this plan
+	// was compiled from: the optimizer's input, and the source of the
+	// per-query derived-metadata preparation (Algorithm 1).
+	Spec *Query
+	// FromTables lists the resolved FROM tables in resolution order.
+	FromTables []string
+	// BaseJoins are the equality join predicates: the view definition's
+	// joins plus two-table equality conjuncts lifted out of WHERE.
+	BaseJoins []table.JoinPred
+	// Conjuncts are the remaining WHERE conjuncts (everything that is
+	// not a join predicate), in source order.
+	Conjuncts []expr.Expr
+	// NumParams is the number of parameter placeholders the plan's
+	// predicates reference; executions must supply that many arguments.
+	NumParams int
+	// RuleLog records what each optimizer rule did ("rule: detail"),
+	// in pipeline order; empty for an unoptimized plan.
+	RuleLog []string
 }
 
 // Type returns the paper's query type taxonomy (Table I): which classes
@@ -79,11 +108,16 @@ func (p *Plan) Type() int {
 	}
 }
 
-// Build compiles a query against the catalog: view expansion, predicate
-// pushdown, R1–R4 join ordering, Qf marking, aggregation and ordering.
-// The query specification is not modified — compilation qualifies names
-// on a private copy, so one *Query may be Built concurrently by any
-// number of goroutines (e.g. a query server replaying a prepared spec).
+// Build resolves and types a query against the catalog: view expansion,
+// name qualification, join-predicate extraction, aggregation and
+// ordering. The produced plan is deliberately unoptimized — all
+// non-join WHERE conjuncts sit in one selection above a join tree in
+// FROM resolution order, and Qf is unset; internal/opt's rule pipeline
+// performs constant folding, predicate pushdown, range-predicate
+// inference, R1–R4 join ordering with the Qf/Qs split, projection
+// pruning and index-key recognition on top. The query specification is
+// not modified — compilation qualifies names on a private copy, so one
+// *Query may be Built concurrently by any number of goroutines.
 func Build(cat *table.Catalog, q *Query) (*Plan, error) {
 	if q.SamplePct < 0 || q.SamplePct > 100 {
 		return nil, fmt.Errorf("plan: SAMPLE %v outside [0, 100]", q.SamplePct)
@@ -128,143 +162,35 @@ func Build(cat *table.Catalog, q *Query) (*Plan, error) {
 		q.OrderBy[i].Col = qn
 	}
 
-	// Classify WHERE conjuncts: single-table predicates push down to
-	// scans, two-table equalities become join edges, the rest stays
-	// residual.
-	pushdown := make(map[string][]expr.Expr)
-	var residual []expr.Expr
-	extraJoins := []table.JoinPred{}
+	// Classify WHERE conjuncts: two-table equality predicates become
+	// join edges (part of name resolution — they connect the FROM
+	// tables); everything else stays a residual conjunct for the
+	// optimizer to place.
+	var conjs []expr.Expr
 	for _, c := range expr.Conjuncts(q.Where) {
-		refTabs := expr.Tables(c)
-		switch len(refTabs) {
-		case 0:
-			residual = append(residual, c)
-		case 1:
-			pushdown[refTabs[0]] = append(pushdown[refTabs[0]], c)
-		case 2:
+		if refTabs := expr.Tables(c); len(refTabs) == 2 {
 			if l, r, ok := expr.JoinEq(c); ok {
-				extraJoins = append(extraJoins, table.JoinPred{Left: l, Right: r})
-			} else {
-				residual = append(residual, c)
-			}
-		default:
-			residual = append(residual, c)
-		}
-	}
-	joins = append(joins, extraJoins...)
-
-	// Predicate inference through range mappings: a range predicate on
-	// an actual-data column whose values are bounded per chunk by
-	// metadata columns implies a metadata predicate, letting the Qf
-	// branch prune chunks (e.g. D.sample_time ranges imply bounds on
-	// S.start_time / S.end_time).
-	inTabs := func(name string) bool {
-		for _, t := range tabs {
-			if t.Name == name {
-				return true
-			}
-		}
-		return false
-	}
-	for _, m := range cat.RangeMappings() {
-		adTab, _, err := table.SplitQualified(m.ADColumn)
-		if err != nil {
-			return nil, err
-		}
-		loTab, _, err := table.SplitQualified(m.MdLo)
-		if err != nil {
-			return nil, err
-		}
-		hiTab, _, err := table.SplitQualified(m.MdHi)
-		if err != nil {
-			return nil, err
-		}
-		if !inTabs(adTab) || !inTabs(loTab) || !inTabs(hiTab) {
-			continue
-		}
-		for _, c := range pushdown[adTab] {
-			for _, inferred := range inferRangePreds(m, c) {
-				mdTab := expr.Tables(inferred)[0]
-				pushdown[mdTab] = append(pushdown[mdTab], inferred)
-			}
-		}
-	}
-
-	// Build the colored query graph.
-	graph := &Graph{}
-	vertIdx := make(map[string]int, len(tabs))
-	for _, t := range tabs {
-		vertIdx[t.Name] = len(graph.Verts)
-		graph.Verts = append(graph.Verts, Vertex{
-			Table:    t.Name,
-			Class:    t.Class,
-			Filtered: len(pushdown[t.Name]) > 0,
-		})
-	}
-	for _, j := range joins {
-		lt, _, err := table.SplitQualified(j.Left)
-		if err != nil {
-			return nil, err
-		}
-		rt, _, err := table.SplitQualified(j.Right)
-		if err != nil {
-			return nil, err
-		}
-		a, aok := vertIdx[lt]
-		b, bok := vertIdx[rt]
-		if !aok || !bok {
-			return nil, fmt.Errorf("plan: join %v references table outside FROM", j)
-		}
-		if a == b {
-			return nil, fmt.Errorf("plan: self-join predicate %v not supported", j)
-		}
-		e := GraphEdge{A: min(a, b), B: max(a, b), Pred: j}
-		graph.Edges = append(graph.Edges, e)
-	}
-
-	ord, err := OrderJoins(graph)
-	if err != nil {
-		return nil, err
-	}
-
-	// Materialize the join tree following the order; track where the
-	// red phase ends — that subtree is Qf.
-	p := &Plan{Graph: graph, Order: ord}
-	var root Node
-	var qf Node
-	for stepIdx, st := range ord.Steps {
-		v := st.Verts[0]
-		t, _ := cat.Table(graph.Verts[v].Table)
-		scan := NewScan(t, expr.Conjoin(pushdown[t.Name]))
-		if root == nil {
-			root = scan
-		} else {
-			preds := make([]table.JoinPred, 0, len(st.Edges))
-			for _, e := range st.Edges {
-				preds = append(preds, e.Pred)
-			}
-			root = NewJoin(root, scan, preds)
-		}
-		if stepIdx == ord.RedSteps-1 {
-			// Metadata-only residual predicates evaluate inside Qf
-			// to maximize chunk filtering.
-			rest := residual[:0:0]
-			for _, r := range residual {
-				if onlyMetadata(cat, r) {
-					root = NewSelect(root, r)
-				} else {
-					rest = append(rest, r)
+				lt, _, err := table.SplitQualified(l)
+				if err != nil {
+					return nil, err
 				}
+				rt, _, err := table.SplitQualified(r)
+				if err != nil {
+					return nil, err
+				}
+				if lt == rt {
+					return nil, fmt.Errorf("plan: self-join predicate %s not supported", c)
+				}
+				joins = append(joins, table.JoinPred{Left: l, Right: r})
+				continue
 			}
-			residual = rest
-			qf = root
 		}
-	}
-	if pred := expr.Conjoin(residual); pred != nil {
-		root = NewSelect(root, pred)
+		conjs = append(conjs, c)
 	}
 
+	p := &Plan{Spec: q, BaseJoins: joins, Conjuncts: conjs}
 	for _, t := range tabs {
+		p.FromTables = append(p.FromTables, t.Name)
 		switch t.Class {
 		case table.GivenMetadata:
 			p.GMdTables = append(p.GMdTables, t.Name)
@@ -275,8 +201,133 @@ func Build(cat *table.Catalog, q *Query) (*Plan, error) {
 		}
 	}
 	p.TwoStage = len(p.ADTables) > 0
+	if q.SamplePct > 0 && q.SamplePct < 100 {
+		p.SamplePct = q.SamplePct
+	}
+	p.NumParams = expr.NumParams(q.Where)
 
-	root, err = applySelect(root, q)
+	// Materialize the naive tree: scans without filters, joined in FROM
+	// resolution order, all residual conjuncts in one selection on top.
+	root, err := Assemble(cat, p, nil, nil, nil, p.Conjuncts)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = root
+	return p, nil
+}
+
+// Assemble materializes the operator tree of a resolved plan:
+//
+//   - scans of p.FromTables, optionally filtered (pushdown[table]) and
+//     narrowed to the schema columns in prune[table];
+//   - joins following ord (nil joins in FROM resolution order), with
+//     every applicable BaseJoins predicate attached; when ord is
+//     non-nil, the Qf marker is set after its red phase and
+//     metadata-only residual conjuncts are evaluated inside Qf;
+//   - the remaining residual conjuncts as one selection;
+//   - aggregation / projection / ordering / limit from p.Spec.
+//
+// Build calls it with everything nil (the unoptimized tree); the
+// optimizer calls it again with the outcome of its rules. The returned
+// root is stored into p by the caller; p.Qf is set here when ord is
+// given.
+func Assemble(cat *table.Catalog, p *Plan, pushdown map[string]expr.Expr,
+	prune map[string][]int, ord *Order, residual []expr.Expr) (Node, error) {
+	scan := func(name string) (Node, error) {
+		t, ok := cat.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", name)
+		}
+		return NewScanCols(t, pushdown[name], prune[name]), nil
+	}
+
+	var root Node
+	var qf Node
+	if ord == nil {
+		// FROM resolution order; attach every join predicate whose both
+		// sides are now in scope.
+		inScope := make(map[string]bool, len(p.FromTables))
+		used := make([]bool, len(p.BaseJoins))
+		for _, tn := range p.FromTables {
+			s, err := scan(tn)
+			if err != nil {
+				return nil, err
+			}
+			if root == nil {
+				root = s
+				inScope[tn] = true
+				continue
+			}
+			inScope[tn] = true
+			var preds []table.JoinPred
+			for ji, j := range p.BaseJoins {
+				if used[ji] {
+					continue
+				}
+				lt, _, err := table.SplitQualified(j.Left)
+				if err != nil {
+					return nil, err
+				}
+				rt, _, err := table.SplitQualified(j.Right)
+				if err != nil {
+					return nil, err
+				}
+				if inScope[lt] && inScope[rt] {
+					used[ji] = true
+					preds = append(preds, j)
+				}
+			}
+			root = NewJoin(root, s, preds)
+		}
+	} else {
+		graph := p.Graph
+		for stepIdx, st := range ord.Steps {
+			v := st.Verts[0]
+			s, err := scan(graph.Verts[v].Table)
+			if err != nil {
+				return nil, err
+			}
+			if root == nil {
+				root = s
+			} else {
+				preds := make([]table.JoinPred, 0, len(st.Edges))
+				for _, e := range st.Edges {
+					preds = append(preds, e.Pred)
+				}
+				root = NewJoin(root, s, preds)
+			}
+			if stepIdx == ord.RedSteps-1 {
+				// Metadata-only residual predicates evaluate inside Qf
+				// to maximize chunk filtering.
+				rest := residual[:0:0]
+				for _, r := range residual {
+					if onlyMetadata(cat, r) {
+						root = NewSelect(root, r)
+					} else {
+						rest = append(rest, r)
+					}
+				}
+				residual = rest
+				qf = root
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("plan: empty FROM")
+	}
+	if pred := expr.Conjoin(residual); pred != nil {
+		root = NewSelect(root, pred)
+	}
+	if ord != nil {
+		p.Qf = qf
+	}
+	return Finish(root, p.Spec)
+}
+
+// Finish places the SELECT-list evaluation (aggregation or projection),
+// ordering and limit on top of a join tree.
+func Finish(root Node, q *Query) (Node, error) {
+	root, err := applySelect(root, q)
 	if err != nil {
 		return nil, err
 	}
@@ -289,12 +340,7 @@ func Build(cat *table.Catalog, q *Query) (*Plan, error) {
 	if q.Limit > 0 {
 		root = &Limit{In: root, N: q.Limit}
 	}
-	if q.SamplePct > 0 && q.SamplePct < 100 {
-		p.SamplePct = q.SamplePct
-	}
-	p.Root = root
-	p.Qf = qf
-	return p, nil
+	return root, nil
 }
 
 // applySelect adds aggregation or projection on top of the join tree.
@@ -366,41 +412,6 @@ func itemName(it SelectItem) string {
 		return fmt.Sprintf("%s(%s)", it.Agg, arg)
 	}
 	return it.Expr.String()
-}
-
-// inferRangePreds derives metadata predicates from one conjunct over
-// the mapped actual-data column. A chunk's values lie within [Lo, Hi),
-// so:
-//
-//	ad >  c  or  ad >= c   implies   Hi >  c
-//	ad <  c  or  ad <= c   implies   Lo <= c
-//	ad =  c                implies   both
-func inferRangePreds(m table.RangeMapping, c expr.Expr) []expr.Expr {
-	var out []expr.Expr
-	addHi := func(k *expr.Const) {
-		kc := *k
-		out = append(out, expr.NewCmp(expr.GT, expr.Col(m.MdHi), &kc))
-	}
-	addLo := func(k *expr.Const) {
-		kc := *k
-		out = append(out, expr.NewCmp(expr.LE, expr.Col(m.MdLo), &kc))
-	}
-	if col, k, ok := expr.EqConst(c); ok && col == m.ADColumn {
-		addHi(k)
-		addLo(k)
-		return out
-	}
-	col, op, k, ok := expr.RangeConst(c)
-	if !ok || col != m.ADColumn {
-		return nil
-	}
-	switch op {
-	case expr.GT, expr.GE:
-		addHi(k)
-	case expr.LT, expr.LE:
-		addLo(k)
-	}
-	return out
 }
 
 // resolveFrom expands the FROM clause into base tables and join

@@ -1,10 +1,15 @@
-// Package plan builds logical query plans. It implements the paper's
-// compile-time optimizer: the colored query graph (metadata vertices
-// red, actual-data vertices black; red/blue/black edges), the join-order
-// rules R1–R4 that force every metadata join below any actual-data
-// access, and the decomposition of a plan Q into the metadata branch Qf
-// (evaluated in stage one to identify the chunks of interest) and the
-// remainder Qs.
+// Package plan defines the logical plan IR and compiles SQL query
+// specifications into it: Build performs name resolution and typing
+// and materializes a deliberately unoptimized operator tree, while the
+// rule-based optimizer (internal/opt) rewrites that tree — predicate
+// pushdown, range inference, projection pruning, index-key
+// recognition, and the paper's compile-time join ordering. The colored
+// query graph (metadata vertices red, actual-data vertices black;
+// red/blue/black edges), the join-order rules R1–R4 that force every
+// metadata join below any actual-data access, and the decomposition of
+// a plan Q into the metadata branch Qf (evaluated in stage one to
+// identify the chunks of interest) and the remainder Qs live here; the
+// optimizer drives them.
 package plan
 
 import (
@@ -64,6 +69,26 @@ type Node interface {
 	String() string
 }
 
+// IndexHint is the optimizer's index-key recognition annotation on a
+// metadata scan: the filter pins every column of some hash index with
+// an equality against a constant or parameter. The executor materializes
+// Key into an index lookup at run time (substituting parameters) and
+// applies Residual on top; Filter stays intact as the fallback when no
+// matching index exists in the execution environment.
+type IndexHint struct {
+	// Cols are the indexed columns (unqualified, in index key order).
+	Cols []string
+	// Kinds are the schema kinds of Cols, for run-time validation of
+	// parameter values.
+	Kinds []storage.Kind
+	// Key holds one equality operand per indexed column: an expr.Const
+	// or expr.Param.
+	Key []expr.Expr
+	// Residual is the conjunction of filter conjuncts the key did not
+	// consume (nil when the key covers the whole filter).
+	Residual expr.Expr
+}
+
 // Scan reads one base table; Filter is the pushed-down selection over
 // this table only (may be nil). For actual-data tables the executor's
 // run-time optimizer replaces the Scan by a union of cache-scans and
@@ -72,8 +97,16 @@ type Scan struct {
 	Table  string
 	Class  table.Class
 	Filter expr.Expr
-	names  []string
-	kinds  []storage.Kind
+	// Cols, when non-nil, restricts the scan to these schema column
+	// indexes (the optimizer's projection pruning); names/kinds are
+	// narrowed accordingly. Nil reads the full schema.
+	Cols []int
+	// Index is the optimizer's index-key recognition annotation (nil
+	// when no index applies).
+	Index *IndexHint
+	names []string
+	kinds []storage.Kind
+	width int // full schema width, for rendering pruned scans
 }
 
 // NewScan builds a scan of the cataloged table.
@@ -84,7 +117,23 @@ func NewScan(t *table.Table, filter expr.Expr) *Scan {
 		Filter: filter,
 		names:  t.Schema.QualifiedNames(t.Name),
 		kinds:  t.Schema.Kinds(),
+		width:  t.Schema.Width(),
 	}
+}
+
+// NewScanCols builds a scan reading only the schema columns at idxs (in
+// the given order).
+func NewScanCols(t *table.Table, filter expr.Expr, idxs []int) *Scan {
+	if idxs == nil {
+		return NewScan(t, filter)
+	}
+	full, kinds := t.Schema.QualifiedNames(t.Name), t.Schema.Kinds()
+	s := &Scan{Table: t.Name, Class: t.Class, Filter: filter, Cols: idxs, width: t.Schema.Width()}
+	for _, i := range idxs {
+		s.names = append(s.names, full[i])
+		s.kinds = append(s.kinds, kinds[i])
+	}
+	return s
 }
 
 // Names implements Node.
@@ -98,10 +147,21 @@ func (s *Scan) Children() []Node { return nil }
 
 // String implements Node.
 func (s *Scan) String() string {
-	if s.Filter != nil {
-		return fmt.Sprintf("scan(%s | %s)", s.Table, s.Filter)
+	var sb strings.Builder
+	sb.WriteString("scan(")
+	sb.WriteString(s.Table)
+	if s.Cols != nil {
+		fmt.Fprintf(&sb, " cols=%d/%d", len(s.Cols), s.width)
 	}
-	return fmt.Sprintf("scan(%s)", s.Table)
+	if s.Index != nil {
+		fmt.Fprintf(&sb, " index=%v", s.Index.Cols)
+	}
+	if s.Filter != nil {
+		sb.WriteString(" | ")
+		sb.WriteString(s.Filter.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
 }
 
 // Join is an inner equi-join (cross product when Preds is empty).

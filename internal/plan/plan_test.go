@@ -2,164 +2,12 @@ package plan
 
 import (
 	"math/rand"
-	"strings"
 	"testing"
-	"time"
 
 	"sommelier/internal/expr"
 	"sommelier/internal/seismic"
 	"sommelier/internal/table"
 )
-
-func ts(s string) int64 {
-	t, err := time.Parse("2006-01-02T15:04:05.000", s)
-	if err != nil {
-		panic(err)
-	}
-	return t.UnixNano()
-}
-
-// query1 is the paper's Query 1 (Figure 2): short-term average.
-func query1() *Query {
-	return &Query{
-		Select: []SelectItem{{Agg: AggAvg, Expr: expr.Col("D.sample_value"), Alias: "avg_val"}},
-		From:   seismic.ViewData,
-		Where: expr.Conjoin([]expr.Expr{
-			expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.Str("ISK")),
-			expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.Str("BHE")),
-			expr.NewCmp(expr.GT, expr.Col("D.sample_time"), expr.Time(ts("2010-01-12T22:15:00.000"))),
-			expr.NewCmp(expr.LT, expr.Col("D.sample_time"), expr.Time(ts("2010-01-12T22:15:02.000"))),
-		}),
-	}
-}
-
-// query2 is the paper's Query 2 (Figure 3): DMd-filtered retrieval.
-func query2() *Query {
-	return &Query{
-		Select: []SelectItem{
-			{Expr: expr.Col("D.sample_time")},
-			{Expr: expr.Col("D.sample_value")},
-		},
-		From: seismic.ViewWindowData,
-		Where: expr.Conjoin([]expr.Expr{
-			expr.NewCmp(expr.EQ, expr.Col("F.station"), expr.Str("FIAM")),
-			expr.NewCmp(expr.EQ, expr.Col("F.channel"), expr.Str("HHZ")),
-			expr.NewCmp(expr.GE, expr.Col("H.window_start_ts"), expr.Time(ts("2010-04-20T23:00:00.000"))),
-			expr.NewCmp(expr.LT, expr.Col("H.window_start_ts"), expr.Time(ts("2010-04-21T02:00:00.000"))),
-			expr.NewCmp(expr.GT, expr.Col("H.window_max_val"), expr.Float(10000)),
-			expr.NewCmp(expr.GT, expr.Col("H.window_std_dev"), expr.Float(10)),
-		}),
-	}
-}
-
-// scanTables collects the leaf tables of a subtree in order.
-func scanTables(n Node) []string {
-	var out []string
-	var rec func(Node)
-	rec = func(n Node) {
-		if s, ok := n.(*Scan); ok {
-			out = append(out, s.Table)
-		}
-		for _, c := range n.Children() {
-			rec(c)
-		}
-	}
-	rec(n)
-	return out
-}
-
-func contains(n Node, target Node) bool {
-	if n == target {
-		return true
-	}
-	for _, c := range n.Children() {
-		if contains(c, target) {
-			return true
-		}
-	}
-	return false
-}
-
-func TestBuildQuery1(t *testing.T) {
-	cat := seismic.NewCatalog()
-	p, err := Build(cat, query1())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !p.TwoStage {
-		t.Fatal("query 1 must be two-stage")
-	}
-	if p.Type() != 4 {
-		t.Fatalf("query 1 type = T%d, want T4", p.Type())
-	}
-	if p.Qf == nil {
-		t.Fatal("no Qf branch")
-	}
-	// Qf must contain only metadata tables.
-	for _, tn := range scanTables(p.Qf) {
-		tab, _ := cat.Table(tn)
-		if !tab.Class.IsMetadata() {
-			t.Fatalf("actual-data table %s inside Qf", tn)
-		}
-	}
-	// Qf must contain both F and S; D must be outside.
-	qfTabs := strings.Join(scanTables(p.Qf), ",")
-	if !strings.Contains(qfTabs, "F") || !strings.Contains(qfTabs, "S") {
-		t.Fatalf("Qf tables = %s", qfTabs)
-	}
-	all := scanTables(p.Root)
-	if len(all) != 3 {
-		t.Fatalf("plan tables = %v", all)
-	}
-	if !contains(p.Root, p.Qf) {
-		t.Fatal("Qf not part of the plan")
-	}
-	if err := Validate(p.Graph, p.Order); err != nil {
-		t.Fatal(err)
-	}
-	// The pushed-down selection on D must sit on its scan.
-	var dScan *Scan
-	var rec func(Node)
-	rec = func(n Node) {
-		if s, ok := n.(*Scan); ok && s.Table == "D" {
-			dScan = s
-		}
-		for _, c := range n.Children() {
-			rec(c)
-		}
-	}
-	rec(p.Root)
-	if dScan == nil || dScan.Filter == nil {
-		t.Fatal("selection on D not pushed down")
-	}
-	if got := Render(p.Root, p.Qf); !strings.Contains(got, "[Qf]") {
-		t.Fatalf("render lacks Qf marker:\n%s", got)
-	}
-}
-
-func TestBuildQuery2(t *testing.T) {
-	cat := seismic.NewCatalog()
-	p, err := Build(cat, query2())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if p.Type() != 5 {
-		t.Fatalf("query 2 type = T%d, want T5", p.Type())
-	}
-	// All three metadata tables (F, S, H) must be inside Qf.
-	qf := scanTables(p.Qf)
-	if len(qf) != 3 {
-		t.Fatalf("Qf tables = %v", qf)
-	}
-	for _, tn := range qf {
-		if tn == "D" {
-			t.Fatal("D inside Qf")
-		}
-	}
-	if err := Validate(p.Graph, p.Order); err != nil {
-		t.Fatal(err)
-	}
-}
 
 func TestMetadataOnlyQueryHasNoSecondStage(t *testing.T) {
 	cat := seismic.NewCatalog()

@@ -4,9 +4,14 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "...", "timeout_ms": 5000}  →  result JSON
-//	GET  /stats    server, cache and engine counters
+//	POST /query    {"sql": "...", "params": [...], "timeout_ms": 5000}  →  result JSON
+//	GET  /stats    server, cache, plan-cache and engine counters
 //	GET  /healthz  liveness probe
+//
+// Queries are compiled through the engine's plan cache: statements
+// differing only in literals share one compiled plan, `?` markers bind
+// the "params" array, and `EXPLAIN <query>` returns the optimized plan
+// with the applied-rule log as rows.
 //
 // The worker pool is the admission controller: requests queue up to
 // QueueDepth jobs and are rejected with 503 beyond that, so overload
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"sommelier/internal/engine"
+	"sommelier/internal/sqlparse"
 	"sommelier/internal/storage"
 )
 
@@ -80,9 +86,10 @@ type Server struct {
 }
 
 type job struct {
-	ctx  context.Context
-	sql  string
-	resp chan jobResult
+	ctx    context.Context
+	sql    string
+	params []any
+	resp   chan jobResult
 }
 
 type jobResult struct {
@@ -131,7 +138,7 @@ func (s *Server) worker() {
 			continue
 		}
 		s.inFlight.Add(1)
-		res, err := s.db.QueryContext(j.ctx, j.sql)
+		res, err := s.db.QueryArgsContext(j.ctx, j.sql, j.params...)
 		s.inFlight.Add(-1)
 		j.resp <- jobResult{res: res, err: err}
 	}
@@ -140,6 +147,9 @@ func (s *Server) worker() {
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
 	SQL string `json:"sql"`
+	// Params binds the statement's `?` markers, in order (numbers,
+	// strings, booleans). Statements without markers take none.
+	Params []any `json:"params,omitempty"`
 	// TimeoutMS overrides the server's default per-request timeout,
 	// capped by the configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -158,6 +168,10 @@ type QueryStats struct {
 	RowsLoaded     int64   `json:"rows_loaded"`
 	SampleFraction float64 `json:"sample_fraction"`
 	DMdComputed    int     `json:"dmd_windows_computed,omitempty"`
+	// CompileUS is the parse+plan+optimize time of this request;
+	// PlanCacheHit marks that the compiled plan came from the cache.
+	CompileUS    int64 `json:"compile_us"`
+	PlanCacheHit bool  `json:"plan_cache_hit"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -168,23 +182,37 @@ type QueryResponse struct {
 	Stats    QueryStats `json:"stats"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. Position (byte offset into the
+// statement) is present for parse errors.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Position *int   `json:"position,omitempty"`
+}
+
+// errorBody builds the error response, surfacing the parse position
+// when the failure carries one.
+func errorBody(err error) errorResponse {
+	body := errorResponse{Error: err.Error()}
+	var perr *sqlparse.Error
+	if errors.As(err, &perr) {
+		pos := perr.Pos
+		body.Position = &pos
+	}
+	return body
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
 	if req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"sql\""})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\""})
 		return
 	}
 	timeout := s.cfg.DefaultTimeout
@@ -198,19 +226,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	s.received.Add(1)
-	j := &job{ctx: ctx, sql: req.SQL, resp: make(chan jobResult, 1)}
+	// JSON numbers arrive as float64; integral values mean integers
+	// (file IDs, timestamps) far more often than floats, and the
+	// numeric comparison kernels promote either way.
+	for i, p := range req.Params {
+		if f, ok := p.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+			req.Params[i] = int64(f)
+		}
+	}
+	j := &job{ctx: ctx, sql: req.SQL, params: req.Params, resp: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
 	default:
 		s.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"overloaded: worker queue full"})
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded: worker queue full"})
 		return
 	}
 	t0 := time.Now()
 	out := <-j.resp
 	if out.err != nil {
 		s.failed.Add(1)
-		writeJSON(w, errorStatus(out.err), errorResponse{out.err.Error()})
+		writeJSON(w, errorStatus(out.err), errorBody(out.err))
 		return
 	}
 	s.completed.Add(1)
@@ -230,7 +266,10 @@ func errorStatus(err error) int {
 		return 499 // client closed request (nginx convention)
 	}
 	msg := err.Error()
-	if strings.HasPrefix(msg, "sql:") || strings.HasPrefix(msg, "plan:") {
+	if strings.HasPrefix(msg, "sql:") || strings.HasPrefix(msg, "plan:") ||
+		strings.HasPrefix(msg, "engine: statement") ||
+		strings.HasPrefix(msg, "engine: unsupported argument") ||
+		strings.HasPrefix(msg, "engine: prepared statement") {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -264,6 +303,8 @@ func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
 			RowsLoaded:     st.RowsLoaded,
 			SampleFraction: st.SampleFraction,
 			DMdComputed:    res.DMd.Computed,
+			CompileUS:      res.Compile.Microseconds(),
+			PlanCacheHit:   res.PlanCacheHit,
 		},
 	}
 }
@@ -300,12 +341,18 @@ type StatsResponse struct {
 		BytesUsed int64 `json:"bytes_used"`
 		Chunks    int   `json:"chunks"`
 	} `json:"cache"`
+	PlanCache struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Size     int   `json:"size"`
+		Capacity int   `json:"capacity"`
+	} `json:"plan_cache"`
 	MaterializedWindows int `json:"materialized_windows"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
 		return
 	}
 	var resp StatsResponse
@@ -325,6 +372,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Evictions = cs.Evictions
 	resp.Cache.BytesUsed = cs.BytesUsed
 	resp.Cache.Chunks = cs.Chunks
+	ps := s.db.PlanCacheStats()
+	resp.PlanCache.Hits = ps.Hits
+	resp.PlanCache.Misses = ps.Misses
+	resp.PlanCache.Size = ps.Size
+	resp.PlanCache.Capacity = ps.Capacity
 	resp.MaterializedWindows = s.db.MaterializedWindows()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func testDB(t testing.TB) *engine.DB {
 	if _, err := seisgen.Generate(dir, cfg); err != nil {
 		t.Fatal(err)
 	}
-	db, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy})
+	db, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy, OptDisable: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,5 +258,122 @@ func TestOverloadRejects(t *testing.T) {
 	}
 	if ok+shed != burst {
 		t.Fatalf("ok=%d shed=%d of %d", ok, shed, burst)
+	}
+}
+
+func TestQueryWithParams(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts.URL, QueryRequest{
+		SQL:    `SELECT COUNT(*) AS n FROM F WHERE station = ? AND file_id >= ?`,
+		Params: []any{"FIAM", 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 1 {
+		t.Fatalf("rows = %d", qr.RowCount)
+	}
+	// Wrong arity is the client's fault: 400.
+	resp, data = post(t, ts.URL, QueryRequest{
+		SQL:    `SELECT COUNT(*) AS n FROM F WHERE station = ?`,
+		Params: []any{},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing params: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestParseErrorReportsPosition(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts.URL, QueryRequest{SQL: `SELECT station FRM F`})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var er struct {
+		Error    string `json:"error"`
+		Position *int   `json:"position"`
+	}
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Position == nil {
+		t.Fatalf("no position in %s", data)
+	}
+	if want := len("SELECT station "); *er.Position != want {
+		t.Fatalf("position = %d, want %d (%s)", *er.Position, want, data)
+	}
+}
+
+func TestStatsReportPlanCache(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sql := `SELECT COUNT(*) AS n FROM F WHERE station = 'FIAM'`
+	for i := 0; i < 3; i++ {
+		resp, data := post(t, ts.URL, QueryRequest{SQL: sql})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !qr.Stats.PlanCacheHit {
+			t.Fatalf("request %d missed the plan cache", i)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCache.Hits < 2 || st.PlanCache.Misses < 1 || st.PlanCache.Size < 1 {
+		t.Fatalf("plan cache stats = %+v", st.PlanCache)
+	}
+}
+
+func TestExplainOverHTTP(t *testing.T) {
+	s := New(testDB(t), Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts.URL, QueryRequest{
+		SQL: `EXPLAIN SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'FIAM'
+		      AND D.sample_time < '2010-01-02T00:00:00.000'`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 1 || qr.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", qr.Columns)
+	}
+	text := fmt.Sprintf("%v", qr.Rows)
+	for _, want := range []string{"[Qf]", "rule joinorder"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN output lacks %q:\n%s", want, text)
+		}
 	}
 }

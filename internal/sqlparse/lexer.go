@@ -6,7 +6,6 @@
 package sqlparse
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -70,7 +69,7 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			if l.pos >= len(l.src) {
-				return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+				return nil, errAt(start, "unterminated string literal")
 			}
 			l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
 			l.pos++
@@ -84,11 +83,11 @@ func lex(src string) ([]token, error) {
 				}
 			}
 			switch c {
-			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', ';':
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', ';', '?':
 				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
 				l.pos++
 			default:
-				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+				return nil, errAt(start, "unexpected character %q", c)
 			}
 		next:
 		}

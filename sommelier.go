@@ -97,6 +97,14 @@ type DB = engine.DB
 // 1 derivation report and the compiled plan.
 type Result = engine.Result
 
+// Stmt is a prepared statement: parsed, planned and optimized once
+// (through the compiled-plan cache), executable any number of times —
+// concurrently — with per-execution arguments bound to its `?` markers.
+type Stmt = engine.Stmt
+
+// PlanCacheStats reports compiled-plan cache activity.
+type PlanCacheStats = engine.PlanCacheStats
+
 // Report summarizes registration cost and storage footprint.
 type Report = registrar.Report
 
