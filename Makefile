@@ -31,14 +31,18 @@ bench:
 ## scaling ratios, allocs/op of the filter/join/group-by
 ## microbenchmarks, and the parallel-execution section: join/group-by
 ## speedups at DOP = GOMAXPROCS), plus BENCH_plancache.json (compile_us
-## cold vs cache-hit, plan-cache hit rate, prepared-vs-direct QPS).
-## BENCH_selection.json is the frozen pre-parallelism baseline — do not
-## overwrite it.
+## cold vs cache-hit, plan-cache hit rate, prepared-vs-direct QPS) and
+## BENCH_memory.json (micro allocs/op + bytes/op on the pooled path,
+## heap-in-use and GC pauses over the 48-query bag, hot-query p50/p99
+## latency at 1/16 clients). BENCH_selection.json is the frozen
+## pre-parallelism baseline — do not overwrite it.
 bench-json:
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_parallel.json
 	@cat BENCH_parallel.json
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -plancache-json BENCH_plancache.json
 	@cat BENCH_plancache.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -memory-json BENCH_memory.json
+	@cat BENCH_memory.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

@@ -38,6 +38,7 @@ func main() {
 	sfs := flag.String("sf", "1,3,9,27", "scale factors")
 	jsonPath := flag.String("json", "", "write headline metrics as JSON to this path and exit")
 	planCachePath := flag.String("plancache-json", "", "write plan-cache metrics (compile_us, hit rate, prepared vs direct QPS) as JSON to this path and exit")
+	memoryPath := flag.String("memory-json", "", "write memory metrics (micro allocs/op, heap+GC over the 48-query bag, hot-query p50/p99 at 1/16 clients) as JSON to this path and exit")
 	flag.Parse()
 
 	dir := *work
@@ -60,6 +61,13 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
 	}
 
+	if *memoryPath != "" {
+		if err := experiments.WriteMemoryJSON(cfg, *memoryPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *memoryPath)
+		return
+	}
 	if *planCachePath != "" {
 		if err := experiments.WritePlanCacheJSON(cfg, *planCachePath); err != nil {
 			fatal(err)

@@ -32,6 +32,10 @@ func optDiffQueries() []string {
 		     AND D.sample_time < '2010-01-01T06:00:00.000'
 		   ORDER BY D.sample_time DESC LIMIT 7`,
 		`SELECT COUNT(*) AS n FROM F WHERE 1 + 1 = 2 AND station = 'ISK'`,
+		// Single-table computed projection: the fused pipeline's
+		// expression path (and its absence when the fuse rule is off).
+		`SELECT window_max_val * 2 + 1 AS v, window_start_ts FROM H
+		   WHERE window_station = 'AQU' AND window_std_dev >= 0`,
 	}
 }
 

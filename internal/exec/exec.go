@@ -158,6 +158,18 @@ type Result struct {
 // Rows is shorthand for the result cardinality.
 func (r *Result) Rows() int { return r.Rel.Rows() }
 
+// Release recycles the result's pooled batch memory back into the
+// storage pools. Call it when the rows are no longer referenced (after
+// rendering, copying out, or comparing); the hot-query steady state
+// then reuses the same memory every execution. Releasing is optional —
+// an unreleased result is simply garbage collected — and a no-op on
+// results whose batches are shared (unpooled) storage.
+func (r *Result) Release() {
+	if r != nil && r.Rel != nil {
+		r.Rel.Release()
+	}
+}
+
 // Trace records, per logical plan node, the number of rows its
 // physical realization emitted in each stage: the substance of
 // EXPLAIN ANALYZE. Qf nodes execute in stage one and reappear as a
@@ -300,10 +312,16 @@ func (ex *executor) run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The stage-one result is drained unpooled, and any pooled
+		// batches its operators emitted (join probe output) are disowned
+		// rather than recycled: qfRel's batches may pass through the
+		// stage-two result-scan into the final result, which outlives
+		// the query.
 		rel, err := ex.drain(op)
 		if err != nil {
 			return nil, fmt.Errorf("exec: stage one: %w", err)
 		}
+		rel.Disown()
 		ex.qfRel = rel
 		ex.qfNames = ex.plan.Qf.Names()
 		ex.qfKinds = ex.plan.Qf.Kinds()
@@ -343,7 +361,7 @@ func (ex *executor) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel, err := ex.drain(op)
+	rel, err := ex.drainPooled(op)
 	if err != nil {
 		return nil, fmt.Errorf("exec: stage two: %w", err)
 	}
@@ -364,6 +382,12 @@ func (ex *executor) run() (*Result, error) {
 // result's rows in the serial order.
 func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
 	return physical.ParallelDrain(op, ex.par, ex.ctx.Err)
+}
+
+// drainPooled is drain through the pooled coalescer: the stage-two
+// (root) drain, whose relation the result owner Releases.
+func (ex *executor) drainPooled(op physical.Operator) (*storage.Relation, error) {
+	return physical.ParallelDrainPooled(op, ex.par, ex.ctx.Err)
 }
 
 // selectChunks extracts, per actual-data table, the distinct chunk IDs
@@ -667,6 +691,8 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 	switch n := n.(type) {
 	case *plan.Scan:
 		return ex.buildScan(n)
+	case *plan.Fused:
+		return ex.buildFused(n)
 	case *plan.Join:
 		l, err := ex.build(n.L, inStage1)
 		if err != nil {
@@ -790,6 +816,23 @@ func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 		}
 		return physical.NewMultiRelScanCols([]*storage.Relation{t.Data()}, names, kinds, filter, n.Cols)
 	}
+	rels, err := ex.adScanRels(n.Table, t)
+	if err != nil {
+		return nil, err
+	}
+	if rels == nil {
+		return physical.NewEmpty(names, kinds), nil
+	}
+	// The union of cache-scans and chunk-accesses over the selected
+	// chunks, collapsed into one scan whose batch list doubles as the
+	// morsel list of parallel execution; the selection is pushed down
+	// (NewMultiRelScanCols clones and binds the predicate).
+	return physical.NewMultiRelScanCols(rels, names, kinds, filter, n.Cols)
+}
+
+// adScanRels resolves the chunk relations an actual-data scan covers
+// under the current mode; nil (without error) means zero chunks.
+func (ex *executor) adScanRels(tableName string, t *table.Table) ([]*storage.Relation, error) {
 	var ids []int64
 	switch ex.env.Mode {
 	case ModeEagerFull:
@@ -798,7 +841,7 @@ func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 		if ex.selected != nil {
 			// Intersect selection with residency: the clustered
 			// index prunes chunks, but eager data is fully resident.
-			for _, id := range ex.selected[n.Table] {
+			for _, id := range ex.selected[tableName] {
 				if _, resident := t.Chunk(id); resident {
 					ids = append(ids, id)
 				}
@@ -808,27 +851,66 @@ func (ex *executor) buildScan(n *plan.Scan) (physical.Operator, error) {
 		}
 	default: // ModeLazy: everything selected was ingested above.
 		if ex.selected != nil {
-			ids = ex.selected[n.Table]
+			ids = ex.selected[tableName]
 		} else {
 			ids = t.ChunkIDs()
 		}
 	}
 	if len(ids) == 0 {
-		return physical.NewEmpty(names, kinds), nil
+		return nil, nil
 	}
 	rels := make([]*storage.Relation, 0, len(ids))
 	for _, id := range ids {
 		rel, resident := t.Chunk(id)
 		if !resident {
-			return nil, fmt.Errorf("exec: chunk %d of %s not resident at stage two", id, n.Table)
+			return nil, fmt.Errorf("exec: chunk %d of %s not resident at stage two", id, tableName)
 		}
 		rels = append(rels, rel)
 	}
-	// The union of cache-scans and chunk-accesses over the selected
-	// chunks, collapsed into one scan whose batch list doubles as the
-	// morsel list of parallel execution; the selection is pushed down
-	// (NewMultiRelScanCols clones and binds the predicate).
-	return physical.NewMultiRelScanCols(rels, names, kinds, filter, n.Cols)
+	return rels, nil
+}
+
+// buildFused realizes a fused Project → Filter → Scan chain as one
+// physical pipeline over the scan's resolved relations, with the scan
+// predicate and residual filter conjoined and every expression prepared
+// for this execution (parameter substitution on clones).
+func (ex *executor) buildFused(n *plan.Fused) (physical.Operator, error) {
+	sc := n.Scan
+	t, ok := ex.env.Catalog.Table(sc.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", sc.Table)
+	}
+	filter, err := ex.rexpr(sc.Filter)
+	if err != nil {
+		return nil, err
+	}
+	residual, err := ex.rexpr(n.Residual)
+	if err != nil {
+		return nil, err
+	}
+	pred := expr.Conjoin([]expr.Expr{filter, residual})
+	outNames := n.Names()
+	outExprs := make([]expr.Expr, len(n.Cols))
+	for i, c := range n.Cols {
+		e, err := ex.rexpr(c.Expr)
+		if err != nil {
+			return nil, err
+		}
+		outExprs[i] = e
+	}
+	var rels []*storage.Relation
+	if t.Class != table.ActualData {
+		rels = []*storage.Relation{t.Data()}
+	} else {
+		rels, err = ex.adScanRels(sc.Table, t)
+		if err != nil {
+			return nil, err
+		}
+		if rels == nil {
+			return physical.NewEmpty(outNames, n.Kinds()), nil
+		}
+	}
+	return physical.NewFusedPipeline(rels, sc.Names(), sc.Kinds(), pred, sc.Cols, outNames, outExprs)
 }
 
 // tryIndexScan serves a metadata scan through a hash index when the

@@ -39,30 +39,7 @@ func ConcurrentLoad(cfg Config) ([]ConcurrencyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	start, end := cfg.span(sf)
-	stations := []string{"FIAM", "ISK", "AQU", "CERA"}
-	day := int64(24 * time.Hour)
-	span := end - start
-	// The fixed bag: every client count executes these same queries.
-	// Offsets cycle within the span, leaving room for the one-day
-	// query window (a one-day repository pins every query to day 0).
-	offMod := span - day
-	if offMod <= 0 {
-		offMod = day
-	}
-	var bag []string
-	for i := 0; i < 48; i++ {
-		st := stations[i%len(stations)]
-		lo := start + (int64(i)*day/2)%offMod
-		switch i % 3 {
-		case 0:
-			bag = append(bag, queryT1(st))
-		case 1:
-			bag = append(bag, queryT2(st, lo, lo+day))
-		default:
-			bag = append(bag, queryT4(st, lo, lo+day))
-		}
-	}
+	bag := mixedBag(cfg, sf)
 
 	var rows []ConcurrencyRow
 	for _, app := range registrar.Approaches() {
@@ -89,8 +66,11 @@ func ConcurrentLoad(cfg Config) ([]ConcurrencyRow, error) {
 					var local time.Duration
 					for _, sql := range queries {
 						q0 := time.Now()
-						_, err := db.QueryContext(context.Background(), sql)
+						res, err := db.QueryContext(context.Background(), sql)
 						local += time.Since(q0)
+						if err == nil {
+							res.Release()
+						}
 						if err != nil {
 							mu.Lock()
 							if runErr == nil {
@@ -121,6 +101,35 @@ func ConcurrentLoad(cfg Config) ([]ConcurrencyRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// mixedBag is the fixed 48-query bag of mixed T1/T2/T4 queries (point,
+// DMd window, actual-data range) every client count executes: offsets
+// cycle within the span, leaving room for the one-day query window (a
+// one-day repository pins every query to day 0).
+func mixedBag(cfg Config, sf int) []string {
+	start, end := cfg.span(sf)
+	stations := []string{"FIAM", "ISK", "AQU", "CERA"}
+	day := int64(24 * time.Hour)
+	span := end - start
+	offMod := span - day
+	if offMod <= 0 {
+		offMod = day
+	}
+	var bag []string
+	for i := 0; i < 48; i++ {
+		st := stations[i%len(stations)]
+		lo := start + (int64(i)*day/2)%offMod
+		switch i % 3 {
+		case 0:
+			bag = append(bag, queryT1(st))
+		case 1:
+			bag = append(bag, queryT2(st, lo, lo+day))
+		default:
+			bag = append(bag, queryT4(st, lo, lo+day))
+		}
+	}
+	return bag
 }
 
 // RenderConcurrency formats the concurrent-load sweep.

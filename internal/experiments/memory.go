@@ -1,0 +1,181 @@
+package experiments
+
+// This file holds the memory-focused headline dump (`benchrunner
+// -memory-json` → BENCH_memory.json): allocation counts of the
+// operator micros on the pooled steady-state path, heap and GC-pause
+// behaviour over the fixed 48-query mixed bag, and hot-query latency
+// quantiles at 1 and 16 clients. It tracks the batch-memory-lifecycle
+// work the same way BENCH_parallel.json tracks the parallel-execution
+// work.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sommelier/internal/engine"
+	"sommelier/internal/registrar"
+)
+
+// MemoryBagStats is the heap/GC accounting of one full pass over the
+// 48-query bag on a warm database, results released after each query.
+type MemoryBagStats struct {
+	Queries        int    `json:"queries"`
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapAllocDelta uint64 `json:"heap_alloc_delta_bytes"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+// LatencyQuantiles is the hot-query latency distribution at one client
+// count.
+type LatencyQuantiles struct {
+	Clients int     `json:"clients"`
+	Samples int     `json:"samples"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// MemoryReport is the machine-readable memory summary.
+type MemoryReport struct {
+	GeneratedUnix int64                  `json:"generated_unix"`
+	ScaleFactor   int                    `json:"scale_factor"`
+	Micro         map[string]MicroResult `json:"micro"`
+	Bag           MemoryBagStats         `json:"bag"`
+	HotLatency    []LatencyQuantiles     `json:"hot_latency"`
+}
+
+// CollectMemory runs the operator micros (pooled steady-state path),
+// one measured pass over the mixed bag, and the hot-query latency
+// sweep, all against the lazy approach at the first scale factor.
+func CollectMemory(cfg Config) (*MemoryReport, error) {
+	sf := cfg.ScaleFactors[0]
+	dir, _, err := cfg.Repo(sf, false)
+	if err != nil {
+		return nil, err
+	}
+	m := &MemoryReport{
+		GeneratedUnix: time.Now().Unix(),
+		ScaleFactor:   sf,
+		Micro: map[string]MicroResult{
+			"filter":  FilterMicro(),
+			"join":    JoinMicro(),
+			"groupby": GroupByMicro(),
+		},
+	}
+
+	db, err := openDB(dir, registrar.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	bag := mixedBag(cfg, sf)
+	runBag := func() error {
+		for _, sql := range bag {
+			res, err := db.QueryContext(context.Background(), sql)
+			if err != nil {
+				return err
+			}
+			res.Release()
+		}
+		return nil
+	}
+	// Warm pass: ingest chunks, derive metadata, fill the plan cache.
+	if err := runBag(); err != nil {
+		return nil, fmt.Errorf("memory bag warmup: %w", err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := runBag(); err != nil {
+		return nil, fmt.Errorf("memory bag: %w", err)
+	}
+	runtime.ReadMemStats(&after)
+	m.Bag = MemoryBagStats{
+		Queries:        len(bag),
+		HeapInuseBytes: after.HeapInuse,
+		HeapAllocDelta: after.TotalAlloc - before.TotalAlloc,
+		GCPauseTotalNs: after.PauseTotalNs - before.PauseTotalNs,
+		NumGC:          after.NumGC - before.NumGC,
+	}
+
+	// Hot-query latency: the T4 hot query replayed on the warm DB.
+	start, _ := cfg.span(sf)
+	hot := queryT4("FIAM", start, start+int64(24*time.Hour))
+	for _, clients := range []int{1, 16} {
+		q, err := hotLatency(db, hot, clients, 192)
+		if err != nil {
+			return nil, err
+		}
+		m.HotLatency = append(m.HotLatency, q)
+	}
+	return m, nil
+}
+
+// hotLatency replays sql total times across the given client count and
+// reports the p50/p99 of the per-query latencies observed.
+func hotLatency(db *engine.DB, sql string, clients, total int) (LatencyQuantiles, error) {
+	var (
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	per := total / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				res, err := db.QueryContext(context.Background(), sql)
+				d := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				res.Release()
+				local = append(local, d)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return LatencyQuantiles{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds())
+	}
+	return LatencyQuantiles{Clients: clients, Samples: len(lats), P50us: q(0.50), P99us: q(0.99)}, nil
+}
+
+// WriteMemoryJSON collects the memory report and writes it as indented
+// JSON to path.
+func WriteMemoryJSON(cfg Config, path string) error {
+	m, err := CollectMemory(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -67,9 +67,11 @@ func FilterMicro() MicroResult {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := physical.Run(s); err != nil {
+			out, err := physical.RunPooled(s)
+			if err != nil {
 				b.Fatal(err)
 			}
+			out.Release()
 		}
 	}))
 }
@@ -105,9 +107,11 @@ func JoinMicroAt(dop int) MicroResult {
 				b.Fatal(err)
 			}
 			j.SetParallel(dop)
-			if _, err := physical.ParallelDrain(j, dop, nil); err != nil {
+			out, err := physical.ParallelDrainPooled(j, dop, nil)
+			if err != nil {
 				b.Fatal(err)
 			}
+			out.Release()
 		}
 	}))
 }
@@ -136,9 +140,11 @@ func GroupByMicroAt(dop int) MicroResult {
 				b.Fatal(err)
 			}
 			agg.SetParallel(dop)
-			if _, err := physical.Run(agg); err != nil {
+			out, err := physical.RunPooled(agg)
+			if err != nil {
 				b.Fatal(err)
 			}
+			out.Release()
 		}
 	}))
 }

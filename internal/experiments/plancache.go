@@ -58,6 +58,7 @@ func CollectPlanCache(cfg Config) (*PlanCacheMetrics, error) {
 		return nil, err
 	}
 	m.CompileColdUS = float64(res.Compile.Microseconds())
+	res.Release()
 	const runs = 200
 	var hitCompile time.Duration
 	for i := 0; i < runs; i++ {
@@ -69,15 +70,18 @@ func CollectPlanCache(cfg Config) (*PlanCacheMetrics, error) {
 			return nil, fmt.Errorf("plancache: hot run %d missed the cache", i)
 		}
 		hitCompile += res.Compile
+		res.Release()
 	}
 	m.CompileHitUS = float64(hitCompile.Microseconds()) / runs
 
 	// Direct-path QPS: parse + cache lookup + execute per call.
 	t0 := time.Now()
 	for i := 0; i < runs; i++ {
-		if _, err := db.Query(sql); err != nil {
+		res, err := db.Query(sql)
+		if err != nil {
 			return nil, err
 		}
+		res.Release()
 	}
 	m.DirectQPS = runs / time.Since(t0).Seconds()
 
@@ -88,9 +92,11 @@ func CollectPlanCache(cfg Config) (*PlanCacheMetrics, error) {
 	}
 	t0 = time.Now()
 	for i := 0; i < runs; i++ {
-		if _, err := stmt.Query(); err != nil {
+		res, err := stmt.Query()
+		if err != nil {
 			return nil, err
 		}
+		res.Release()
 	}
 	m.PreparedQPS = runs / time.Since(t0).Seconds()
 	if m.DirectQPS > 0 {

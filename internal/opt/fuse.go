@@ -1,0 +1,93 @@
+package opt
+
+// The fuse rule: collapse Project → (Select →) Scan chains into one
+// plan.Fused node, realized by the executor as a single fused physical
+// pipeline (physical.FusedPipeline) that evaluates the scan predicate,
+// residual filters and projection expressions in one pass per batch —
+// no intermediate batch exchange between the three operators, and
+// pooled output memory. Fusion never changes the rows a query returns;
+// the engine's differential suite runs with the rule disabled to prove
+// it.
+
+import (
+	"sommelier/internal/expr"
+	"sommelier/internal/plan"
+	"sommelier/internal/storage"
+)
+
+// fusePipelines rewrites every fusable chain in the tree, returning the
+// (possibly new) root and the number of chains fused. The Qf node and
+// index-annotated scans are never fused: the Qf subtree is replayed as
+// a result-scan in stage two, and index scans use a different access
+// path entirely.
+func fusePipelines(p *plan.Plan, n plan.Node) (plan.Node, int) {
+	switch n := n.(type) {
+	case *plan.Project:
+		if f, ok := tryFuse(p, n); ok {
+			return f, 1
+		}
+		in, c := fusePipelines(p, n.In)
+		n.In = in
+		return n, c
+	case *plan.Sort:
+		in, c := fusePipelines(p, n.In)
+		n.In = in
+		return n, c
+	case *plan.Limit:
+		in, c := fusePipelines(p, n.In)
+		n.In = in
+		return n, c
+	case *plan.Select:
+		in, c := fusePipelines(p, n.In)
+		n.In = in
+		return n, c
+	case *plan.Aggregate:
+		in, c := fusePipelines(p, n.In)
+		n.In = in
+		return n, c
+	case *plan.Join:
+		l, cl := fusePipelines(p, n.L)
+		r, cr := fusePipelines(p, n.R)
+		n.L, n.R = l, r
+		return n, cl + cr
+	}
+	return n, 0
+}
+
+// tryFuse matches Project → (Select →)* Scan with a fixed-width output
+// schema, off the materialized Qf branch and without an index
+// annotation. The Qf guard applies only to two-stage plans: those
+// replay the Qf node as a result-scan in stage two, so the node must
+// survive as-is. Single-stage (metadata-only) plans mark a Qf for
+// rendering but never materialize it, and fuse freely.
+func tryFuse(p *plan.Plan, pr *plan.Project) (plan.Node, bool) {
+	isQf := func(n plan.Node) bool { return p.TwoStage && n == p.Qf }
+	if isQf(pr) {
+		return nil, false
+	}
+	var residual []expr.Expr
+	cur := pr.In
+	for {
+		sel, ok := cur.(*plan.Select)
+		if !ok {
+			break
+		}
+		if isQf(sel) {
+			return nil, false
+		}
+		residual = append(residual, sel.Pred)
+		cur = sel.In
+	}
+	sc, ok := cur.(*plan.Scan)
+	if !ok || isQf(sc) || sc.Index != nil {
+		return nil, false
+	}
+	for _, c := range pr.Cols {
+		switch c.Kind {
+		case storage.KindInt64, storage.KindFloat64, storage.KindBool, storage.KindTime:
+		default:
+			return nil, false // dictionary strings don't coalesce well
+		}
+	}
+	return &plan.Fused{Scan: sc, Residual: expr.Conjoin(residual), Cols: pr.Cols}, true
+}

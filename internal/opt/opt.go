@@ -45,11 +45,12 @@ const (
 	RuleJoinOrder  = "joinorder"
 	RulePruneCols  = "prunecols"
 	RuleIndexKey   = "indexkey"
+	RuleFuse       = "fuse"
 )
 
 // Rules lists every rule in pipeline order.
 func Rules() []string {
-	return []string{RuleConstFold, RulePushdown, RuleRangeInfer, RuleJoinOrder, RulePruneCols, RuleIndexKey}
+	return []string{RuleConstFold, RulePushdown, RuleRangeInfer, RuleJoinOrder, RulePruneCols, RuleIndexKey, RuleFuse}
 }
 
 // EnvDisable is the environment variable listing rules to disable
@@ -269,6 +270,15 @@ func Optimize(ctx *Context, p *plan.Plan, opts Options) (*plan.Plan, error) {
 	if !opts.Disabled(RuleIndexKey) {
 		hits := annotateIndexKeys(ctx, p.Root)
 		log = append(log, fmt.Sprintf("%s: %d scan(s) annotated", RuleIndexKey, hits))
+	}
+
+	// fuse: collapse Project → (Select →) Scan chains into single fused
+	// pipeline nodes (after indexkey, so annotated scans keep their
+	// access path).
+	if !opts.Disabled(RuleFuse) {
+		newRoot, fused := fusePipelines(p, p.Root)
+		p.Root = newRoot
+		log = append(log, fmt.Sprintf("%s: %d chain(s) fused", RuleFuse, fused))
 	}
 
 	p.RuleLog = log

@@ -141,6 +141,10 @@ type HashAggregate struct {
 	// positionally over a whole batch, so a sparsely selected input is
 	// materialized first instead of folded through its selection.
 	exprArgs bool
+	// sharedArgs are the bound aggregate arguments every accumulator may
+	// share: set only when all arguments are bare column references
+	// (stateless, safe to evaluate concurrently without cloning).
+	sharedArgs []expr.Expr
 	// dop is the parallelism granted by the executor.
 	dop int
 
@@ -189,6 +193,14 @@ func NewHashAggregate(in Operator, groupCols []int, aggs []AggColumn) (*HashAggr
 		}
 	}
 	h.fastKey = len(groupCols) == 1 && isIntKeyKind(inKinds[groupCols[0]])
+	if !h.exprArgs {
+		// Every argument is a bare (stateless) column reference: all
+		// accumulators can share the bound expressions without cloning.
+		h.sharedArgs = make([]expr.Expr, len(h.aggs))
+		for i, a := range h.aggs {
+			h.sharedArgs[i] = a.Arg
+		}
+	}
 	return h, nil
 }
 
@@ -220,10 +232,11 @@ type group struct {
 	states []aggState
 }
 
-// update folds row r of the evaluated argument columns into the group.
-func (g *group) update(argCols []storage.Column, r int) {
-	for i := range g.states {
-		st := &g.states[i]
+// updateStates folds row r of the evaluated argument columns into a
+// group's aggregate states.
+func updateStates(states []aggState, argCols []storage.Column, r int) {
+	for i := range states {
+		st := &states[i]
 		if argCols[i] == nil {
 			st.n++ // COUNT(*)
 			continue
@@ -237,6 +250,60 @@ func (g *group) update(argCols []storage.Column, r int) {
 			st.addI(c.Value(r))
 		}
 	}
+}
+
+// update folds row r of the evaluated argument columns into the group.
+func (g *group) update(argCols []storage.Column, r int) {
+	updateStates(g.states, argCols, r)
+}
+
+// intGroups is the dense fast-key group table: a key→index map over
+// flat, insertion-ordered key and state arrays (nagg states per group)
+// instead of one heap-allocated *group per key. Tables are pooled and
+// reset — never reallocated — between the ranges of a partitioned
+// aggregation and between queries, which is what erases the per-range
+// accumulator churn of deterministic partial aggregation.
+type intGroups struct {
+	idx    map[int64]int32
+	keys   []int64
+	states []aggState
+}
+
+var intGroupsPool sync.Pool
+
+func getIntGroups() *intGroups {
+	g, _ := intGroupsPool.Get().(*intGroups)
+	if g == nil {
+		return &intGroups{idx: make(map[int64]int32, 64)}
+	}
+	return g
+}
+
+// putIntGroups resets the table (keeping its backing capacity) and
+// returns it to the pool.
+func putIntGroups(g *intGroups) {
+	if g == nil {
+		return
+	}
+	clear(g.idx)
+	g.keys = g.keys[:0]
+	g.states = g.states[:0]
+	intGroupsPool.Put(g)
+}
+
+// slot returns the dense state slice of key k, creating a zeroed group
+// on first sight (so a reset table behaves exactly like a fresh one).
+func (g *intGroups) slot(k int64, nagg int) []aggState {
+	gi, ok := g.idx[k]
+	if !ok {
+		gi = int32(len(g.keys))
+		g.idx[k] = gi
+		g.keys = append(g.keys, k)
+		for i := 0; i < nagg; i++ {
+			g.states = append(g.states, aggState{})
+		}
+	}
+	return g.states[int(gi)*nagg : (int(gi)+1)*nagg]
 }
 
 // aggSplitMax asks the input for as many range parts as its grain
@@ -283,9 +350,12 @@ func (h *HashAggregate) Next() (*storage.Batch, error) {
 		return nil, err
 	}
 	if err := acc.drain(h.in); err != nil {
+		acc.release()
 		return nil, err
 	}
-	return acc.render(), nil
+	out := acc.render()
+	acc.release()
+	return out, nil
 }
 
 // foldParts accumulates each range part into its own partial and merges
@@ -312,12 +382,16 @@ func (h *HashAggregate) foldParts(parts []Operator) (*storage.Batch, error) {
 			err = acc.drain(parts[i])
 		}
 		if err != nil {
+			if acc != nil {
+				acc.release()
+			}
 			return err
 		}
 		mu.Lock()
 		done[i] = acc
 		for merged < len(done) && done[merged] != nil {
 			final.merge(done[merged])
+			done[merged].release()
 			done[merged] = nil
 			merged++
 		}
@@ -325,43 +399,63 @@ func (h *HashAggregate) foldParts(parts []Operator) (*storage.Batch, error) {
 		return nil
 	})
 	if err != nil {
+		final.release()
 		return nil, err
 	}
-	return final.render(), nil
+	out := final.render()
+	final.release()
+	return out, nil
 }
 
-// aggAcc accumulates (partial) groups for one input partition. Each
-// accumulator owns clones of the aggregate argument expressions —
-// expression memoization is per-goroutine state — and one of the two
-// group tables, matching the aggregate's key path.
+// aggAcc accumulates (partial) groups for one input partition. An
+// accumulator with computed arguments owns clones of the argument
+// expressions — expression memoization is per-goroutine state — while
+// bare column references are shared unbound of state. The fast-key path
+// accumulates into a pooled dense group table; the composite path keeps
+// the general per-group map.
 type aggAcc struct {
-	h    *HashAggregate
-	args []expr.Expr
+	h       *HashAggregate
+	args    []expr.Expr
+	argCols []storage.Column // per-batch scratch, reused
 
-	groups  map[index.Key]*group // composite path
-	order   []index.Key
-	igroups map[int64]*group // fastKey path
-	iorder  []int64
+	groups map[index.Key]*group // composite path
+	order  []index.Key
+	ig     *intGroups // fastKey path
 }
 
 func (h *HashAggregate) newAcc() (*aggAcc, error) {
-	a := &aggAcc{h: h, args: make([]expr.Expr, len(h.aggs))}
-	for i, ag := range h.aggs {
-		if ag.Arg == nil {
-			continue
+	a := &aggAcc{h: h}
+	if h.sharedArgs != nil {
+		a.args = h.sharedArgs
+	} else {
+		a.args = make([]expr.Expr, len(h.aggs))
+		for i, ag := range h.aggs {
+			if ag.Arg == nil {
+				continue
+			}
+			e := expr.Clone(ag.Arg)
+			if _, err := e.Bind(h.inNames, h.inKinds); err != nil {
+				return nil, err
+			}
+			a.args[i] = e
 		}
-		e := expr.Clone(ag.Arg)
-		if _, err := e.Bind(h.inNames, h.inKinds); err != nil {
-			return nil, err
-		}
-		a.args[i] = e
 	}
+	a.argCols = make([]storage.Column, len(h.aggs))
 	if h.fastKey {
-		a.igroups = make(map[int64]*group)
+		a.ig = getIntGroups()
 	} else {
 		a.groups = make(map[index.Key]*group)
 	}
 	return a, nil
+}
+
+// release returns the accumulator's pooled group table. The accumulator
+// must not be used afterwards.
+func (a *aggAcc) release() {
+	if a.ig != nil {
+		putIntGroups(a.ig)
+		a.ig = nil
+	}
 }
 
 // drain folds every batch of in into the accumulator.
@@ -380,18 +474,21 @@ func (a *aggAcc) drain(in Operator) error {
 	}
 }
 
-// evalArgs evaluates the aggregate arguments once per batch.
+// evalArgs evaluates the aggregate arguments once per batch, into the
+// accumulator's reusable scratch slice.
 func (a *aggAcc) evalArgs(b *storage.Batch) []storage.Column {
-	cols := make([]storage.Column, len(a.args))
 	for i, e := range a.args {
 		if e != nil {
-			cols[i] = e.Eval(b)
+			a.argCols[i] = e.Eval(b)
+		} else {
+			a.argCols[i] = nil
 		}
 	}
-	return cols
+	return a.argCols
 }
 
-// fold accumulates one batch.
+// fold accumulates one batch, recycling a pooled input batch once its
+// rows are folded (the accumulator is the batch's single consumer).
 func (a *aggAcc) fold(b *storage.Batch) error {
 	h := a.h
 	if !h.fastKey {
@@ -414,6 +511,7 @@ func (a *aggAcc) fold(b *storage.Batch) error {
 			}
 			g.update(argCols, r)
 		}
+		storage.PutBatch(b)
 		return nil
 	}
 	// The specialized single-int64/time-key accumulation: the group key
@@ -428,43 +526,38 @@ func (a *aggAcc) fold(b *storage.Batch) error {
 	base, sel := b.DetachSel()
 	argCols := a.evalArgs(base)
 	keys := storage.Int64s(base.Cols[h.groupCols[0]])
-	fold := func(r int) {
-		k := keys[r]
-		g, ok := a.igroups[k]
-		if !ok {
-			g = &group{states: make([]aggState, len(h.aggs))}
-			a.igroups[k] = g
-			a.iorder = append(a.iorder, k)
-		}
-		g.update(argCols, r)
-	}
+	nagg := len(h.aggs)
 	if sel != nil {
 		for _, r := range sel {
-			fold(int(r))
+			updateStates(a.ig.slot(keys[r], nagg), argCols, int(r))
 		}
 		storage.PutSel(sel)
 	} else {
 		for r := range keys {
-			fold(r)
+			updateStates(a.ig.slot(keys[r], nagg), argCols, r)
 		}
 	}
+	storage.PutBatch(base)
 	return nil
 }
 
 // merge folds another accumulator's partial groups into a. New groups
-// are adopted wholesale; shared groups merge state-wise. Callers merge
+// are adopted by value; shared groups merge state-wise. Callers merge
 // partials in range order, so the result is deterministic.
 func (a *aggAcc) merge(o *aggAcc) {
 	if a.h.fastKey {
-		for _, k := range o.iorder {
-			og := o.igroups[k]
-			if g, ok := a.igroups[k]; ok {
-				for i := range g.states {
-					g.states[i].merge(og.states[i])
+		nagg := len(a.h.aggs)
+		for oi, k := range o.ig.keys {
+			os := o.ig.states[oi*nagg : (oi+1)*nagg]
+			if gi, ok := a.ig.idx[k]; ok {
+				as := a.ig.states[int(gi)*nagg : (int(gi)+1)*nagg]
+				for i := range as {
+					as[i].merge(os[i])
 				}
 			} else {
-				a.igroups[k] = og
-				a.iorder = append(a.iorder, k)
+				a.ig.idx[k] = int32(len(a.ig.keys))
+				a.ig.keys = append(a.ig.keys, k)
+				a.ig.states = append(a.ig.states, os...)
 			}
 		}
 		return
@@ -488,11 +581,29 @@ func (a *aggAcc) merge(o *aggAcc) {
 func (a *aggAcc) render() *storage.Batch {
 	h := a.h
 	if h.fastKey {
-		sort.Slice(a.iorder, func(i, j int) bool { return a.iorder[i] < a.iorder[j] })
-		builders := h.newBuilders(len(a.igroups))
-		for _, k := range a.iorder {
-			builders[0].AppendAny(k)
-			h.appendAggs(builders, a.igroups[k])
+		nagg := len(h.aggs)
+		n := len(a.ig.keys)
+		// The permutation shares the selection-vector pool only when it
+		// is batch-sized; a huge group count must not pin an oversized
+		// array under the pool's uniformly small vectors.
+		var perm []int32
+		fromPool := n <= storage.BatchSize
+		if fromPool {
+			perm = storage.GetSel(n)[:n]
+		} else {
+			perm = make([]int32, n)
+		}
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.Slice(perm, func(i, j int) bool { return a.ig.keys[perm[i]] < a.ig.keys[perm[j]] })
+		builders := h.newBuilders(n)
+		for _, gi := range perm {
+			builders[0].AppendAny(a.ig.keys[gi])
+			h.appendAggs(builders, a.ig.states[int(gi)*nagg:(int(gi)+1)*nagg])
+		}
+		if fromPool {
+			storage.PutSel(perm)
 		}
 		return finishBuilders(builders)
 	}
@@ -508,7 +619,7 @@ func (a *aggAcc) render() *storage.Batch {
 		for i := range h.groupCols {
 			builders[i].AppendAny(g.repr[i])
 		}
-		h.appendAggs(builders, g)
+		h.appendAggs(builders, g.states)
 	}
 	return finishBuilders(builders)
 }
@@ -530,9 +641,9 @@ func finishBuilders(builders []storage.Builder) *storage.Batch {
 }
 
 // appendAggs renders one group's aggregate results into the builders.
-func (h *HashAggregate) appendAggs(builders []storage.Builder, g *group) {
+func (h *HashAggregate) appendAggs(builders []storage.Builder, states []aggState) {
 	for i, a := range h.aggs {
-		st := g.states[i]
+		st := states[i]
 		bi := len(h.groupCols) + i
 		switch a.Func {
 		case AggCount:

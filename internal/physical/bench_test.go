@@ -35,9 +35,11 @@ func BenchmarkFilterScan(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Run(s); err != nil {
+		out, err := RunPooled(s)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -60,9 +62,11 @@ func BenchmarkFilterChain(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Run(f); err != nil {
+		out, err := RunPooled(f)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -93,9 +97,11 @@ func BenchmarkZoneSkipScan(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Run(s); err != nil {
+		out, err := RunPooled(s)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -116,9 +122,11 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Run(j); err != nil {
+		out, err := RunPooled(j)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -135,9 +143,11 @@ func BenchmarkGroupedAggregate(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Run(agg); err != nil {
+		out, err := RunPooled(agg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -163,9 +173,11 @@ func BenchmarkHashJoinProbeParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		j.SetParallel(dop)
-		if _, err := ParallelDrain(j, dop, nil); err != nil {
+		out, err := ParallelDrainPooled(j, dop, nil)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -186,8 +198,10 @@ func BenchmarkGroupedAggregateParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		agg.SetParallel(dop)
-		if _, err := Run(agg); err != nil {
+		out, err := RunPooled(agg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }

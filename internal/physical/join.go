@@ -3,6 +3,7 @@ package physical
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sommelier/internal/index"
 	"sommelier/internal/storage"
@@ -41,11 +42,102 @@ type HashJoin struct {
 	built     bool
 	buildData *storage.Batch
 	table     map[index.Key][]int32
-	intTable  map[int64][]int32
+	intTable  *intJoinTable
 	// shards replace intTable after a partitioned parallel build:
 	// shard i holds the keys whose hash lands in partition i.
 	shards    []map[int64][]int32
 	shardMask uint64
+	// probesLeft counts the probe streams still running; the last one to
+	// exhaust recycles the fast-path build scratch.
+	probesLeft atomic.Int32
+}
+
+// intJoinTable is the fast-path build table: per-key [start, start+n)
+// spans into one shared row-index arena, instead of one heap slice per
+// key. The map and the arena are pooled, so a steady-state join build
+// allocates nothing. Row indexes within a span are in build-row order,
+// exactly as the per-key append layout produced.
+type intJoinTable struct {
+	spans map[int64]intSpan
+	rows  []int32 // pooled arena (selection-vector pool shape)
+}
+
+type intSpan struct{ start, n int32 }
+
+var joinTablePool sync.Pool
+
+// arenaPool recycles the build-row arenas separately from the
+// selection-vector pool: arenas are sized by the build side (possibly
+// far beyond BatchSize), and mixing them into the uniformly
+// batch-sized selection pool would pin large arrays under small
+// vectors.
+var arenaPool sync.Pool // *[]int32
+
+func getArena(n int) []int32 {
+	if v := arenaPool.Get(); v != nil {
+		a := (*v.(*[]int32))[:0]
+		if cap(a) >= n {
+			return a[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+func putArena(a []int32) {
+	if cap(a) == 0 {
+		return
+	}
+	a = a[:0]
+	arenaPool.Put(&a)
+}
+
+// newIntJoinTable builds the span table over keys in three passes:
+// count per key, assign span starts, fill the arena with a per-key
+// cursor (temporarily reusing n).
+func newIntJoinTable(keys []int64) *intJoinTable {
+	t, _ := joinTablePool.Get().(*intJoinTable)
+	if t == nil {
+		t = &intJoinTable{spans: make(map[int64]intSpan, 64)}
+	} else {
+		clear(t.spans)
+	}
+	t.rows = getArena(len(keys))
+	for _, k := range keys {
+		sp := t.spans[k]
+		sp.n++
+		t.spans[k] = sp
+	}
+	var start int32
+	for k, sp := range t.spans {
+		count := sp.n
+		sp.start, sp.n = start, 0
+		start += count
+		t.spans[k] = sp
+	}
+	for r, k := range keys {
+		sp := t.spans[k]
+		t.rows[sp.start+sp.n] = int32(r)
+		sp.n++
+		t.spans[k] = sp
+	}
+	return t
+}
+
+func (t *intJoinTable) lookup(k int64) []int32 {
+	sp, ok := t.spans[k]
+	if !ok {
+		return nil
+	}
+	return t.rows[sp.start : sp.start+sp.n]
+}
+
+func putIntJoinTable(t *intJoinTable) {
+	if t == nil {
+		return
+	}
+	putArena(t.rows)
+	t.rows = nil
+	joinTablePool.Put(t)
 }
 
 // SetParallel implements ParallelHinter: it grants the build phase up
@@ -101,17 +193,21 @@ func (j *HashJoin) build() error {
 		return err
 	}
 	j.buildData = rel.Flatten()
+	// A multi-batch flatten copied the rows: recycle the drained input.
+	// A single-batch flatten shares it: disown (the build data lives as
+	// long as the join, outside pool accounting).
+	if len(rel.Batches()) > 1 {
+		rel.Release()
+	} else {
+		rel.Disown()
+	}
 	n := j.buildData.Len()
+	j.probesLeft.Store(1)
 	if j.fastKey {
 		if n > 0 && j.dop > 1 && n >= parallelBuildMin {
 			j.buildPartitioned(storage.Int64s(j.buildData.Cols[j.leftK[0]]))
-		} else {
-			j.intTable = make(map[int64][]int32, n)
-			if n > 0 {
-				for r, v := range storage.Int64s(j.buildData.Cols[j.leftK[0]]) {
-					j.intTable[v] = append(j.intTable[v], int32(r))
-				}
-			}
+		} else if n > 0 {
+			j.intTable = newIntJoinTable(storage.Int64s(j.buildData.Cols[j.leftK[0]]))
 		}
 		j.built = true
 		return nil
@@ -173,7 +269,7 @@ func (j *HashJoin) lookupInt(k int64) []int32 {
 	if j.shards != nil {
 		return j.shards[hash64(k)&j.shardMask][k]
 	}
-	return j.intTable[k]
+	return j.intTable.lookup(k)
 }
 
 func (j *HashJoin) tableEmpty() bool {
@@ -186,9 +282,19 @@ func (j *HashJoin) tableEmpty() bool {
 			}
 			return true
 		}
-		return len(j.intTable) == 0
+		return j.intTable == nil || len(j.intTable.spans) == 0
 	}
 	return len(j.table) == 0
+}
+
+// probeDone marks one probe stream exhausted; the last one recycles the
+// pooled fast-path build scratch (the arena and span map).
+func (j *HashJoin) probeDone() {
+	if j.probesLeft.Add(-1) == 0 && j.intTable != nil {
+		t := j.intTable
+		j.intTable = nil
+		putIntJoinTable(t)
+	}
 }
 
 // Next implements Operator.
@@ -226,6 +332,7 @@ func (j *HashJoin) Split(n int) ([]Operator, error) {
 	for i, r := range rights {
 		out[i] = &hashJoinProbe{j: j, right: r}
 	}
+	j.probesLeft.Store(int32(len(out)))
 	return out, nil
 }
 
@@ -235,8 +342,12 @@ func (j *HashJoin) Split(n int) ([]Operator, error) {
 func (j *HashJoin) probeFrom(right Operator) (*storage.Batch, error) {
 	for {
 		rb, err := right.Next()
-		if err != nil || rb == nil {
+		if err != nil {
 			return nil, err
+		}
+		if rb == nil {
+			j.probeDone()
+			return nil, nil
 		}
 		leftIdx := storage.GetSel(rb.Len())
 		rightIdx := storage.GetSel(rb.Len())
@@ -280,13 +391,23 @@ func (j *HashJoin) probeFrom(right Operator) (*storage.Batch, error) {
 		if len(leftIdx) == 0 {
 			storage.PutSel(leftIdx)
 			storage.PutSel(rightIdx)
+			storage.PutBatch(base)
 			continue
 		}
-		lcols := j.buildData.Gather(leftIdx)
-		rcols := base.Gather(rightIdx)
+		// Gather both sides into pooled output columns: the join's
+		// per-batch gather scratch is the hottest allocation site of the
+		// probe. The probe input is fully copied out and recycled.
+		cols := make([]storage.Column, 0, len(j.buildData.Cols)+len(base.Cols))
+		for _, c := range j.buildData.Cols {
+			cols = append(cols, storage.GatherPooled(c, leftIdx))
+		}
+		for _, c := range base.Cols {
+			cols = append(cols, storage.GatherPooled(c, rightIdx))
+		}
 		storage.PutSel(leftIdx)
 		storage.PutSel(rightIdx)
-		return storage.NewBatch(append(append([]storage.Column{}, lcols.Cols...), rcols.Cols...)...), nil
+		storage.PutBatch(base)
+		return storage.NewPooledBatch(cols...), nil
 	}
 }
 
@@ -349,10 +470,14 @@ func (c *CrossJoin) Next() (*storage.Batch, error) {
 			return nil, err
 		}
 		c.leftData = lrel.Flatten()
+		// Both sides outlive the drain (the right batches are re-emitted
+		// in the product): take them out of pool accounting.
+		lrel.Disown()
 		c.rightRel, err = Run(c.right)
 		if err != nil {
 			return nil, err
 		}
+		c.rightRel.Disown()
 		c.built = true
 	}
 	for c.li < c.leftData.Len() {

@@ -47,6 +47,13 @@ func Run(op Operator) (*storage.Relation, error) {
 	return Drain(op, nil)
 }
 
+// RunPooled is Run through the pooled coalescer: the returned relation
+// owns pooled batches and must be Released by the caller when the rows
+// are no longer referenced.
+func RunPooled(op Operator) (*storage.Relation, error) {
+	return DrainPooled(op, nil)
+}
+
 // Drain pulls an operator to completion into a relation pre-sized from
 // the operator's batch-count hint. Selection-carrying batches over
 // fixed-width schemas are coalesced into full batches instead of
@@ -55,8 +62,22 @@ func Run(op Operator) (*storage.Relation, error) {
 // each pull and aborts the drain when it errors — the executor passes
 // its context's Err for cancellation between batches.
 func Drain(op Operator, check func() error) (*storage.Relation, error) {
-	out := NewOutputRelation(op)
-	coal := storage.NewCoalescer(op.Kinds())
+	return drainInto(op, check, NewOutputRelation(op), false)
+}
+
+// DrainPooled is Drain with the coalesced output drawn from the
+// batch-memory pool; the caller owns the relation and Releases it.
+func DrainPooled(op Operator, check func() error) (*storage.Relation, error) {
+	return drainInto(op, check, NewOutputRelation(op), true)
+}
+
+func drainInto(op Operator, check func() error, out *storage.Relation, pooled bool) (*storage.Relation, error) {
+	var coal *storage.Coalescer
+	if pooled {
+		coal = storage.NewPooledCoalescer(op.Kinds())
+	} else {
+		coal = storage.NewCoalescer(op.Kinds())
+	}
 	for {
 		if check != nil {
 			if err := check(); err != nil {
@@ -307,7 +328,7 @@ func (s *RelScan) Next() (*storage.Batch, error) {
 			storage.PutSel(sel)
 			return b, nil
 		}
-		return b.WithSel(sel), nil
+		return storage.ViewWithSel(b, sel), nil
 	}
 	return nil, nil
 }
@@ -317,10 +338,16 @@ func (s *RelScan) Next() (*storage.Batch, error) {
 // schema; the source relation's zone maps are consulted through the
 // column mapping.
 func (s *RelScan) pruneByZone(m scanMorsel) bool {
-	for _, zb := range s.bounds {
+	return pruneMorsel(m, s.bounds, s.srcCols)
+}
+
+// pruneMorsel is the zone-pruning test shared by RelScan and the fused
+// pipeline.
+func pruneMorsel(m scanMorsel, bounds []zoneBound, srcCols []int) bool {
+	for _, zb := range bounds {
 		col := zb.col
-		if s.srcCols != nil {
-			col = s.srcCols[col]
+		if srcCols != nil {
+			col = srcCols[col]
 		}
 		if m.rel.Zone(m.idx, col).Disjoint(zb.lo, zb.hi) {
 			return true
@@ -399,13 +426,15 @@ func (f *Filter) Next() (*storage.Batch, error) {
 		storage.PutSel(selIn)
 		if len(sel) == 0 {
 			storage.PutSel(sel)
+			// No survivors: a pooled input batch dies here.
+			storage.PutBatch(base)
 			continue
 		}
 		if len(sel) == base.Len() {
 			storage.PutSel(sel)
 			return base, nil
 		}
-		return base.WithSel(sel), nil
+		return storage.ViewWithSel(base, sel), nil
 	}
 }
 
@@ -479,6 +508,10 @@ func (p *Project) Next() (*storage.Batch, error) {
 	for i, e := range p.exprs {
 		cols[i] = e.Eval(b)
 	}
+	// Column references alias input columns into the output (ownership
+	// moves downstream with them); input columns the projection dropped
+	// are recycled here if pooled.
+	storage.PutBatchExcept(b, cols)
 	return storage.NewBatch(cols...), nil
 }
 

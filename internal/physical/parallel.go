@@ -57,6 +57,17 @@ type ParallelHinter interface {
 // serial drain. check (may be nil) is consulted between batches on
 // every worker, as in Drain.
 func ParallelDrain(op Operator, dop int, check func() error) (*storage.Relation, error) {
+	return parallelDrain(op, dop, check, false)
+}
+
+// ParallelDrainPooled is ParallelDrain with pooled coalescer output and
+// pooled per-range relation headers; the caller owns (and Releases) the
+// returned relation.
+func ParallelDrainPooled(op Operator, dop int, check func() error) (*storage.Relation, error) {
+	return parallelDrain(op, dop, check, true)
+}
+
+func parallelDrain(op Operator, dop int, check func() error, pooled bool) (*storage.Relation, error) {
 	if dop > 1 {
 		if sp, ok := op.(Splitter); ok {
 			parts, err := sp.Split(dop * morselFanout)
@@ -64,14 +75,14 @@ func ParallelDrain(op Operator, dop int, check func() error) (*storage.Relation,
 				return nil, err
 			}
 			if len(parts) > 1 {
-				return drainParts(parts, dop, check)
+				return drainParts(parts, dop, check, pooled)
 			}
 			if len(parts) == 1 {
-				return Drain(parts[0], check)
+				return drainInto(parts[0], check, NewOutputRelation(parts[0]), pooled)
 			}
 		}
 	}
-	return Drain(op, check)
+	return drainInto(op, check, NewOutputRelation(op), pooled)
 }
 
 // runParts invokes run for every part index in [0, n), claimed off a
@@ -121,11 +132,20 @@ func runParts(n, dop int, run func(i int) error) error {
 
 // drainParts runs the part operators on a pool of dop workers, each
 // part drained through its own Coalescer into its own relation, and
-// reassembles the per-part relations in part order.
-func drainParts(parts []Operator, dop int, check func() error) (*storage.Relation, error) {
+// reassembles the per-part relations in part order. Under pooling the
+// per-range relation headers come from (and return to) the relation
+// pool; their batches transfer wholesale to the reassembled output,
+// which alone owns them afterwards.
+func drainParts(parts []Operator, dop int, check func() error, pooled bool) (*storage.Relation, error) {
 	outs := make([]*storage.Relation, len(parts))
 	err := runParts(len(parts), dop, func(i int) error {
-		rel, err := Drain(parts[i], check)
+		var rel *storage.Relation
+		if pooled {
+			rel = storage.GetRelation(batchHint(parts[i]))
+		} else {
+			rel = NewOutputRelation(parts[i])
+		}
+		rel, err := drainInto(parts[i], check, rel, pooled)
 		if err == nil {
 			outs[i] = rel
 		}
@@ -143,8 +163,19 @@ func drainParts(parts []Operator, dop int, check func() error) (*storage.Relatio
 		for _, b := range rel.Batches() {
 			out.Append(b)
 		}
+		if pooled {
+			storage.PutRelation(rel)
+		}
 	}
 	return out, nil
+}
+
+// batchHint reports the operator's batch-count hint, zero if none.
+func batchHint(op Operator) int {
+	if h, ok := op.(BatchHinter); ok {
+		return h.BatchHint()
+	}
+	return 0
 }
 
 // splitRanges cuts length items into at most n contiguous ranges of at

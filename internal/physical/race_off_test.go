@@ -1,0 +1,8 @@
+//go:build !race
+
+package physical
+
+// raceEnabled mirrors the -race build tag: the alloc-budget tests skip
+// under the race detector, whose instrumentation changes allocation
+// counts.
+const raceEnabled = false

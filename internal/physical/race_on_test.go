@@ -1,0 +1,6 @@
+//go:build race
+
+package physical
+
+// raceEnabled mirrors the -race build tag.
+const raceEnabled = true

@@ -80,7 +80,12 @@ func (s *Sort) Next() (*storage.Batch, error) {
 		}
 		return false
 	})
-	return flat.Gather(idx), nil
+	out := flat.Gather(idx)
+	// The ordered copy replaces the drained input; recycle any pooled
+	// batches the input operators emitted (flat shares rel's only batch
+	// in the single-batch case, but the gather above already copied).
+	rel.Release()
+	return out, nil
 }
 
 func cmpAt(c storage.Column, a, b int) int {
@@ -109,7 +114,11 @@ func cmpOrd[T int64 | float64 | string](a, b T) int {
 	}
 }
 
-// Limit passes through at most N rows.
+// Limit passes through at most N rows. Its early stop abandons
+// whatever the upstream operators still hold in flight — pooled
+// batches they would have emitted are left to the garbage collector
+// (operators have no close protocol), so LIMIT plans trade pool
+// locality for the rows they skip.
 type Limit struct {
 	in   Operator
 	n    int
@@ -135,7 +144,12 @@ func (l *Limit) Next() (*storage.Batch, error) {
 		return nil, err
 	}
 	if l.seen+b.Len() > l.n {
-		b = b.Slice(0, l.n-l.seen)
+		full := b.Materialize()
+		b = full.Slice(0, l.n-l.seen)
+		// The sliced views share the truncated batch's storage: take it
+		// out of pool accounting (it must never be recycled while the
+		// views live, and nobody owns it downstream).
+		storage.DisownBatch(full)
 	}
 	l.seen += b.Len()
 	return b, nil

@@ -275,7 +275,8 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// toResponse converts an engine result to the wire shape.
+// toResponse converts an engine result to the wire shape, releasing the
+// result's pooled batch memory once the rows are rendered.
 func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
 	flat := res.Rel.Flatten()
 	rows := make([][]any, flat.Len())
@@ -286,6 +287,7 @@ func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
 		}
 		rows[ri] = row
 	}
+	res.Release()
 	st := res.Stats
 	return QueryResponse{
 		Columns:  res.Names,

@@ -23,6 +23,10 @@ const BatchSize = 4096
 type Batch struct {
 	Cols []Column
 	sel  []int32 // deferred selection; nil selects all rows
+	// pooled marks a header owned by the batch pool (pool.go). The flag
+	// follows the linear owner through WithSel/DetachSel/Materialize so
+	// exactly one holder ever recycles it.
+	pooled bool
 }
 
 // NewBatch wraps columns into a batch, verifying equal lengths.
@@ -44,6 +48,12 @@ func (b *Batch) WithSel(sel []int32) *Batch {
 	if b.sel != nil {
 		panic("storage: WithSel on a batch already carrying a selection")
 	}
+	if b.pooled {
+		// Reuse the pooled header in place: b and the returned batch are
+		// the same owner.
+		b.sel = sel
+		return b
+	}
 	return &Batch{Cols: b.Cols, sel: sel}
 }
 
@@ -63,6 +73,10 @@ func (b *Batch) DetachSel() (*Batch, []int32) {
 		return b, nil
 	}
 	b.sel = nil
+	if b.pooled {
+		// The pooled header stays with its single owner.
+		return b, sel
+	}
 	return &Batch{Cols: b.Cols}, sel
 }
 
@@ -79,15 +93,20 @@ func (b *Batch) Materialize() *Batch {
 	sel := b.sel
 	b.sel = nil
 	if len(sel) == b.baseLen() {
-		out := &Batch{Cols: b.Cols}
 		PutSel(sel)
-		return out
+		if b.pooled {
+			return b
+		}
+		return &Batch{Cols: b.Cols}
 	}
 	cols := make([]Column, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Gather(sel)
 	}
 	PutSel(sel)
+	// The gathered copy replaces the base: recycle the (now dead)
+	// pooled base columns and header, if any.
+	PutBatch(b)
 	return &Batch{Cols: cols}
 }
 
@@ -207,11 +226,14 @@ func (r *Relation) Append(b *Batch) {
 
 // Zone returns the cached min/max bound of column col over batch i,
 // computing the relation's zone maps on first use. Bounds exist for
-// int64 and time columns; other kinds return Ok=false.
+// int64 and time columns; other kinds return Ok=false. The computation
+// is incremental: a relation cloned from a snapshot (CloneForAppend)
+// inherits the parent's cached bounds and only the appended tail
+// batches are ever scanned.
 func (r *Relation) Zone(i, col int) Zone {
 	zp := r.zones.Load()
-	if zp == nil || len(*zp) != len(r.batches) {
-		z := computeZones(r.batches)
+	if zp == nil || len(*zp) < len(r.batches) {
+		z := extendZones(zp, r.batches)
 		r.zones.Store(&z)
 		zp = &z
 	}
@@ -221,6 +243,28 @@ func (r *Relation) Zone(i, col int) Zone {
 	}
 	return zs[col]
 }
+
+// CloneForAppend returns a new relation over the same batches with room
+// for extra appends, inheriting the receiver's cached zone maps: the
+// copy-on-write growth path of metadata tables, where each append used
+// to recompute every batch bound from scratch. The inherited cache is
+// shared read-only; extending it builds a fresh slice.
+func (r *Relation) CloneForAppend(extra int) *Relation {
+	nd := &Relation{rows: r.rows, batches: make([]*Batch, len(r.batches), len(r.batches)+extra)}
+	copy(nd.batches, r.batches)
+	if zp := r.zones.Load(); zp != nil {
+		nd.zones.Store(zp)
+	}
+	return nd
+}
+
+// zoneComputed counts batches whose bounds were computed (not
+// inherited); the incremental-inheritance tests read it.
+var zoneComputed atomic.Int64
+
+// ZoneComputations reports how many per-batch zone computations have
+// run process-wide. Intended for tests.
+func ZoneComputations() int64 { return zoneComputed.Load() }
 
 // ColumnZone computes the min/max bound of an int64/time column; other
 // kinds (and empty columns) report Ok=false. It is the single bounds
@@ -248,14 +292,26 @@ func ColumnZone(c Column) Zone {
 	return z
 }
 
-func computeZones(batches []*Batch) [][]Zone {
+// extendZones computes bounds for the batches beyond the cached prefix,
+// reusing the prefix entries (per-batch bound slices are immutable once
+// stored, so sharing across snapshots is safe).
+func extendZones(prev *[][]Zone, batches []*Batch) [][]Zone {
+	done := 0
+	if prev != nil && len(*prev) <= len(batches) {
+		done = len(*prev)
+	}
 	zones := make([][]Zone, len(batches))
-	for bi, b := range batches {
+	if done > 0 {
+		copy(zones, (*prev)[:done])
+	}
+	for bi := done; bi < len(batches); bi++ {
+		b := batches[bi]
 		zs := make([]Zone, len(b.Cols))
 		for ci, c := range b.Cols {
 			zs[ci] = ColumnZone(c)
 		}
 		zones[bi] = zs
+		zoneComputed.Add(1)
 	}
 	return zones
 }

@@ -18,6 +18,9 @@ type Builder interface {
 	// in order. col must have the builder's kind. Typed builders
 	// implement it as one tight loop over the backing slice.
 	AppendSel(col Column, sel []int32)
+	// AppendAll appends every row of col, which must have the builder's
+	// kind; typed builders implement it as one bulk copy.
+	AppendAll(col Column)
 	// Finish returns the built column and resets the builder.
 	Finish() Column
 	// Reset re-arms the builder with fresh backing capacity after a
@@ -60,8 +63,30 @@ func NewBuilder(k Kind, capacity int) Builder {
 	}
 }
 
+// NewPooledBuilder is NewBuilder drawing backing arrays from the
+// batch-memory pool: Reset re-arms from the pool and Finish emits a
+// pooled column owned by the caller (release with PutColumn/PutBatch).
+// String builders have no pooled form and fall back to NewBuilder.
+func NewPooledBuilder(k Kind, capacity int) Builder {
+	switch k {
+	case KindInt64:
+		return &Int64Builder{vals: int64Slices.get(capacity), pooled: true}
+	case KindFloat64:
+		return &Float64Builder{vals: float64Slices.get(capacity), pooled: true}
+	case KindBool:
+		return &BoolBuilder{vals: boolSlices.get(capacity), pooled: true}
+	case KindTime:
+		return &TimeBuilder{vals: int64Slices.get(capacity), pooled: true}
+	default:
+		return NewBuilder(k, capacity)
+	}
+}
+
 // Int64Builder builds Int64Columns.
-type Int64Builder struct{ vals []int64 }
+type Int64Builder struct {
+	vals   []int64
+	pooled bool
+}
 
 // NewInt64Builder returns a builder with the given capacity.
 func NewInt64Builder(capacity int) *Int64Builder {
@@ -90,18 +115,37 @@ func (b *Int64Builder) AppendSel(col Column, sel []int32) {
 	b.vals = appendSel(b.vals, col.(*Int64Column).vals, sel)
 }
 
+// AppendAll implements Builder.
+func (b *Int64Builder) AppendAll(col Column) {
+	b.vals = append(b.vals, col.(*Int64Column).vals...)
+}
+
 // Reset implements Builder.
-func (b *Int64Builder) Reset(capacity int) { b.vals = make([]int64, 0, capacity) }
+func (b *Int64Builder) Reset(capacity int) {
+	if b.pooled {
+		b.vals = int64Slices.get(capacity)
+		return
+	}
+	b.vals = make([]int64, 0, capacity)
+}
 
 // Finish implements Builder.
 func (b *Int64Builder) Finish() Column {
-	c := &Int64Column{vals: b.vals}
+	var c Column
+	if b.pooled && pooling.Load() {
+		c = pooledInt64Col(b.vals, false)
+	} else {
+		c = &Int64Column{vals: b.vals}
+	}
 	b.vals = nil
 	return c
 }
 
 // TimeBuilder builds TimeColumns (int64 nanoseconds since epoch).
-type TimeBuilder struct{ vals []int64 }
+type TimeBuilder struct {
+	vals   []int64
+	pooled bool
+}
 
 // NewTimeBuilder returns a builder with the given capacity.
 func NewTimeBuilder(capacity int) *TimeBuilder {
@@ -130,18 +174,37 @@ func (b *TimeBuilder) AppendSel(col Column, sel []int32) {
 	b.vals = appendSel(b.vals, col.(*TimeColumn).vals, sel)
 }
 
+// AppendAll implements Builder.
+func (b *TimeBuilder) AppendAll(col Column) {
+	b.vals = append(b.vals, col.(*TimeColumn).vals...)
+}
+
 // Reset implements Builder.
-func (b *TimeBuilder) Reset(capacity int) { b.vals = make([]int64, 0, capacity) }
+func (b *TimeBuilder) Reset(capacity int) {
+	if b.pooled {
+		b.vals = int64Slices.get(capacity)
+		return
+	}
+	b.vals = make([]int64, 0, capacity)
+}
 
 // Finish implements Builder.
 func (b *TimeBuilder) Finish() Column {
-	c := &TimeColumn{vals: b.vals}
+	var c Column
+	if b.pooled && pooling.Load() {
+		c = pooledInt64Col(b.vals, true)
+	} else {
+		c = &TimeColumn{vals: b.vals}
+	}
 	b.vals = nil
 	return c
 }
 
 // Float64Builder builds Float64Columns.
-type Float64Builder struct{ vals []float64 }
+type Float64Builder struct {
+	vals   []float64
+	pooled bool
+}
 
 // NewFloat64Builder returns a builder with the given capacity.
 func NewFloat64Builder(capacity int) *Float64Builder {
@@ -170,18 +233,37 @@ func (b *Float64Builder) AppendSel(col Column, sel []int32) {
 	b.vals = appendSel(b.vals, col.(*Float64Column).vals, sel)
 }
 
+// AppendAll implements Builder.
+func (b *Float64Builder) AppendAll(col Column) {
+	b.vals = append(b.vals, col.(*Float64Column).vals...)
+}
+
 // Reset implements Builder.
-func (b *Float64Builder) Reset(capacity int) { b.vals = make([]float64, 0, capacity) }
+func (b *Float64Builder) Reset(capacity int) {
+	if b.pooled {
+		b.vals = float64Slices.get(capacity)
+		return
+	}
+	b.vals = make([]float64, 0, capacity)
+}
 
 // Finish implements Builder.
 func (b *Float64Builder) Finish() Column {
-	c := &Float64Column{vals: b.vals}
+	var c Column
+	if b.pooled && pooling.Load() {
+		c = pooledFloat64Col(b.vals)
+	} else {
+		c = &Float64Column{vals: b.vals}
+	}
 	b.vals = nil
 	return c
 }
 
 // BoolBuilder builds BoolColumns.
-type BoolBuilder struct{ vals []bool }
+type BoolBuilder struct {
+	vals   []bool
+	pooled bool
+}
 
 // NewBoolBuilder returns a builder with the given capacity.
 func NewBoolBuilder(capacity int) *BoolBuilder {
@@ -210,12 +292,28 @@ func (b *BoolBuilder) AppendSel(col Column, sel []int32) {
 	b.vals = appendSel(b.vals, col.(*BoolColumn).vals, sel)
 }
 
+// AppendAll implements Builder.
+func (b *BoolBuilder) AppendAll(col Column) {
+	b.vals = append(b.vals, col.(*BoolColumn).vals...)
+}
+
 // Reset implements Builder.
-func (b *BoolBuilder) Reset(capacity int) { b.vals = make([]bool, 0, capacity) }
+func (b *BoolBuilder) Reset(capacity int) {
+	if b.pooled {
+		b.vals = boolSlices.get(capacity)
+		return
+	}
+	b.vals = make([]bool, 0, capacity)
+}
 
 // Finish implements Builder.
 func (b *BoolBuilder) Finish() Column {
-	c := &BoolColumn{vals: b.vals}
+	var c Column
+	if b.pooled && pooling.Load() {
+		c = pooledBoolCol(b.vals)
+	} else {
+		c = &BoolColumn{vals: b.vals}
+	}
 	b.vals = nil
 	return c
 }
@@ -265,6 +363,14 @@ func (b *StringBuilder) AppendSel(col Column, sel []int32) {
 	sc := col.(*StringColumn)
 	for _, i := range sel {
 		b.Append(sc.Value(int(i)))
+	}
+}
+
+// AppendAll implements Builder.
+func (b *StringBuilder) AppendAll(col Column) {
+	sc := col.(*StringColumn)
+	for i := 0; i < sc.Len(); i++ {
+		b.Append(sc.Value(i))
 	}
 }
 

@@ -83,8 +83,13 @@ func Bools(c Column) []bool {
 	return c.(*BoolColumn).vals
 }
 
-// Int64Column is a column of 64-bit integers.
-type Int64Column struct{ vals []int64 }
+// Int64Column is a column of 64-bit integers. pooled marks columns
+// whose backing array is owned by the batch-memory pool (see pool.go);
+// it is metadata for PutColumn, invisible to readers.
+type Int64Column struct {
+	vals   []int64
+	pooled bool
+}
 
 // NewInt64Column wraps vals (not copied) as a column.
 func NewInt64Column(vals []int64) *Int64Column { return &Int64Column{vals: vals} }
@@ -115,7 +120,10 @@ func (c *Int64Column) Value(i int) int64 { return c.vals[i] }
 
 // TimeColumn is a column of timestamps, stored as int64 nanoseconds
 // since the Unix epoch.
-type TimeColumn struct{ vals []int64 }
+type TimeColumn struct {
+	vals   []int64
+	pooled bool
+}
 
 // NewTimeColumn wraps vals (nanoseconds since epoch, not copied).
 func NewTimeColumn(vals []int64) *TimeColumn { return &TimeColumn{vals: vals} }
@@ -145,7 +153,10 @@ func (c *TimeColumn) Gather(idx []int32) Column {
 func (c *TimeColumn) Value(i int) int64 { return c.vals[i] }
 
 // Float64Column is a column of 64-bit floats.
-type Float64Column struct{ vals []float64 }
+type Float64Column struct {
+	vals   []float64
+	pooled bool
+}
 
 // NewFloat64Column wraps vals (not copied) as a column.
 func NewFloat64Column(vals []float64) *Float64Column { return &Float64Column{vals: vals} }
@@ -175,7 +186,10 @@ func (c *Float64Column) Gather(idx []int32) Column {
 func (c *Float64Column) Value(i int) float64 { return c.vals[i] }
 
 // BoolColumn is a column of booleans.
-type BoolColumn struct{ vals []bool }
+type BoolColumn struct {
+	vals   []bool
+	pooled bool
+}
 
 // NewBoolColumn wraps vals (not copied) as a column.
 func NewBoolColumn(vals []bool) *BoolColumn { return &BoolColumn{vals: vals} }
@@ -209,8 +223,9 @@ func (c *BoolColumn) Value(i int) bool { return c.vals[i] }
 // the metadata tables of chunked repositories, so dictionary encoding is
 // the storage default for strings.
 type StringColumn struct {
-	dict  []string
-	codes []int32
+	dict   []string
+	codes  []int32
+	pooled bool
 }
 
 // NewStringColumn dictionary-encodes vals into a column.

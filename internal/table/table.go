@@ -147,10 +147,10 @@ func (t *Table) Append(b *storage.Batch) error {
 			t.pkSeen[key] = true
 		}
 	}
-	nd := storage.NewRelation()
-	for _, ob := range t.data.Batches() {
-		nd.Append(ob)
-	}
+	// Copy-on-write: the new snapshot shares the parent's batches and
+	// inherits its cached zone maps, so a later range scan computes
+	// bounds only for the appended tail.
+	nd := t.data.CloneForAppend(1)
 	nd.Append(b)
 	t.data = nd
 	return nil

@@ -1,0 +1,60 @@
+package table
+
+import (
+	"testing"
+
+	"sommelier/internal/storage"
+)
+
+// TestAppendInheritsZoneMaps pins the copy-on-write zone-map protocol
+// of metadata tables: each Append produces a fresh snapshot that
+// inherits the previous snapshot's cached per-batch bounds, so a range
+// scan after an append computes bounds only for the appended tail
+// batch — not for the whole table again.
+func TestAppendInheritsZoneMaps(t *testing.T) {
+	schema := MustSchema(
+		ColumnDef{"window_start", storage.KindTime},
+		ColumnDef{"window_max", storage.KindFloat64},
+	)
+	tb := MustNew("H", DerivedMetadata, schema, nil, "")
+	mk := func(lo int64) *storage.Batch {
+		return storage.NewBatch(
+			storage.NewTimeColumn([]int64{lo, lo + 5}),
+			storage.NewFloat64Column([]float64{1, 2}),
+		)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := tb.Append(mk(i * 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First range-predicated scan of the snapshot: all 4 batch bounds
+	// are computed and cached.
+	base := storage.ZoneComputations()
+	snap := tb.Data()
+	for i := 0; i < 4; i++ {
+		snap.Zone(i, 0)
+	}
+	if got := storage.ZoneComputations() - base; got != 4 {
+		t.Fatalf("first scan computed %d batch bounds, want 4", got)
+	}
+
+	// Append one window: the new snapshot inherits the cached bounds and
+	// scans only the tail batch.
+	if err := tb.Append(mk(1000)); err != nil {
+		t.Fatal(err)
+	}
+	base = storage.ZoneComputations()
+	next := tb.Data()
+	for i := 0; i < 5; i++ {
+		if z := next.Zone(i, 0); !z.Ok {
+			t.Fatalf("batch %d has no bound", i)
+		}
+	}
+	if got := storage.ZoneComputations() - base; got != 1 {
+		t.Fatalf("post-append scan computed %d batch bounds, want 1 (tail only)", got)
+	}
+	if z := next.Zone(4, 0); z.Min != 1000 || z.Max != 1005 {
+		t.Fatalf("tail bound = %+v, want [1000,1005]", z)
+	}
+}
