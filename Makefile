@@ -1,19 +1,37 @@
 GO ?= go
 
-.PHONY: ci fmt vet test build bench bench-json bench-micro
+.PHONY: ci fmt vet lint lint-extra test build bench bench-json bench-micro
 
-## ci is the documented pre-merge check: formatting, vet, and the full
-## test suite under the race detector (the concurrency guarantees of
-## engine.DB and sommelierd are enforced by -race tests).
-ci: fmt vet test
+## ci is the documented pre-merge check: formatting, vet, the
+## ownership-protocol lint, and the full test suite under the race
+## detector (the concurrency guarantees of engine.DB and sommelierd
+## are enforced by -race tests).
+ci: fmt vet lint test
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+## vet also type-checks the pooldebug build, so the stack-recording
+## pool accounting cannot rot between uses.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags pooldebug ./...
+
+## lint builds sommelierlint (the go/analysis vettool proving the
+## pooled-memory ownership protocol: poolown, selalias, releasecheck,
+## atomicguard) and runs it over the whole module via go vet. See the
+## "Static analysis & the ownership protocol" section of
+## PERFORMANCE.md.
+lint:
+	$(GO) build -o bin/sommelierlint ./cmd/sommelierlint
+	$(GO) vet -vettool=$(abspath bin/sommelierlint) ./...
+
+## lint-extra layers on analyzers that need golang.org/x/tools
+## (network to fetch); CI runs it, offline checkouts can skip it.
+lint-extra:
+	$(GO) run golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@latest ./...
 
 test:
 	$(GO) test -race ./...

@@ -1,0 +1,18 @@
+// Command sommelierlint is the static-analysis gate for the pooled
+// memory ownership protocol. It runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/sommelierlint ./...   # the CI path
+//	sommelierlint ./internal/...                     # standalone
+//
+// The suite: poolown (linear ownership of pooled batches/relations),
+// selalias (no retained aliases of recycled backing), releasecheck
+// (query results are released), atomicguard (no mixed atomic/plain
+// access). See internal/analysis and the "Static analysis & the
+// ownership protocol" section of PERFORMANCE.md.
+package main
+
+import "sommelier/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All)
+}

@@ -1,0 +1,123 @@
+package analysis
+
+// atomicguard protects the lock-free paths (the Recycler's hit
+// counters, the morsel cursor): a variable or field whose address is
+// passed to a sync/atomic function anywhere in the package must never
+// be read or written plainly — a single plain access next to atomic
+// ones is a data race the race detector only catches if a test
+// happens to hit the interleaving.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard flags plain accesses to atomically-accessed locations.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "check that fields accessed via sync/atomic are never also " +
+		"accessed plainly",
+	Run: runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) error {
+	info := pass.TypesInfo
+	// Phase 1: collect guarded objects — targets of &x passed to a
+	// sync/atomic package function — and the exact AST nodes of those
+	// sanctioned accesses.
+	guarded := map[types.Object]token.Pos{} // object → first atomic site
+	sanctioned := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, c)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				// Methods on atomic.Int64-style wrapper types make plain
+				// access a type error already; only the old-style
+				// functions need guarding.
+				return true
+			}
+			for _, arg := range c.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(info, u.X); obj != nil {
+					if _, seen := guarded[obj]; !seen {
+						guarded[obj] = u.Pos()
+					}
+					sanctioned[ast.Unparen(u.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	// Phase 2: flag every other access to a guarded object.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			var at token.Pos
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[x] {
+					return false
+				}
+				obj = info.ObjectOf(x.Sel)
+				at = x.Sel.Pos()
+			case *ast.Ident:
+				if sanctioned[x] {
+					return false
+				}
+				// Uses only: the declaration of a guarded variable or field
+				// is not an access.
+				obj = info.Uses[x]
+				at = x.Pos()
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if _, ok := guarded[obj]; !ok {
+				return true
+			}
+			if suppressedBy(pass, at, "atomic-guarded") {
+				return true
+			}
+			pass.Reportf(at,
+				"%q is accessed with sync/atomic elsewhere in this package; "+
+					"plain access here is a data race (use sync/atomic or annotate //sommelier:atomic-guarded)",
+				obj.Name())
+			return false
+		})
+	}
+	return nil
+}
+
+// addressedObject resolves &x to the variable or field being
+// addressed: a plain identifier or a field selection.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		return addressedObject(info, x.X)
+	}
+	return nil
+}

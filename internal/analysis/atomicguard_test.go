@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicGuardGolden(t *testing.T) {
+	RunGolden(t, AtomicGuard, "testdata/atomicguard")
+}

@@ -1,0 +1,160 @@
+package analysis
+
+// Standalone package loading: resolve patterns with
+// `go list -export -deps` and type-check the targets' source against
+// their dependencies' gc export data. Everything needed is in the
+// build cache after a `go build`, so this works fully offline — no
+// golang.org/x/tools/go/packages required. Test files are not loaded
+// here; the `go vet -vettool` path covers them with the compiler's
+// own package graph.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewPass wraps a loaded package for the analyzers.
+func (lp *LoadedPackage) NewPass() *Pass {
+	return &Pass{Fset: lp.Fset, Files: lp.Files, Pkg: lp.Pkg, TypesInfo: lp.Info}
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadPackages loads and type-checks the packages matching patterns,
+// resolved relative to dir (empty = current directory).
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	exports := map[string]string{}
+	var targets []*listedPkg
+	for dec.More() {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	pkgs := make([]*LoadedPackage, 0, len(targets))
+	for _, t := range targets {
+		lp, err := typeCheckDir(t.ImportPath, t.Dir, t.GoFiles, exportLookup(exports), "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportLookup opens gc export data by import path.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+}
+
+// typeCheckDir parses and type-checks one package's files. File names
+// are joined to dir unless already absolute.
+func typeCheckDir(importPath, dir string, fileNames []string, lookup func(string) (io.ReadCloser, error), goVersion string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &LoadedPackage{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// RunPatterns loads patterns and runs the suite, returning rendered
+// diagnostics ("file:line:col: analyzer: message").
+func RunPatterns(dir string, analyzers []*Analyzer, patterns ...string) ([]string, error) {
+	pkgs, err := LoadPackages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, lp := range pkgs {
+		diags, err := runPackage(lp.NewPass(), analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, fmt.Sprintf("%s: %s: %s",
+				lp.Fset.Position(d.Pos), d.Analyzer, d.Message))
+		}
+	}
+	return out, nil
+}

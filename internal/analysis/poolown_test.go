@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolOwnGolden(t *testing.T) {
+	RunGolden(t, PoolOwn, "testdata/poolown")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestReleaseCheckGolden(t *testing.T) {
+	RunGolden(t, ReleaseCheck, "testdata/releasecheck")
+}

@@ -1,0 +1,119 @@
+package analysis
+
+// selalias guards against the quietest failure mode the pool has:
+// slice recycling turns a retained alias of a released batch's
+// backing (its selection vector or a column) into silent data
+// corruption once the pool hands the memory to someone else. Two
+// checks:
+//
+//  1. dataflow: an alias derived from a tracked batch (s := b.Sel(),
+//     c := b.Cols[i]) must not be used after the batch is released;
+//  2. retention: the result of Batch.Sel() must not be stored into a
+//     field, global or composite, or returned — those outlive the
+//     statement and the analysis cannot tie them to the batch's
+//     lifetime. DetachSel is the sanctioned way to keep a selection
+//     vector alive.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SelAlias flags retained aliases of pooled batch backing.
+var SelAlias = &Analyzer{
+	Name: "selalias",
+	Doc: "check that Batch.Sel and pooled column backings are not retained " +
+		"past the owning batch's release",
+	Run: runSelAlias,
+}
+
+var selAliasSpec = &ownSpec{
+	directive:    "sel-retained",
+	noun:         "pooled value",
+	producers:    poolOwnSpec.producers,
+	recvConsumed: poolOwnSpec.recvConsumed,
+	consumers:    poolOwnSpec.consumers,
+	borrows:      poolBorrows,
+	recvBorrows:  poolOwnSpec.recvBorrows,
+	derives: map[string]bool{
+		sp + "Batch.Sel": true,
+	},
+	deriveFields: map[string]bool{"Cols": true},
+	aliasOnly:    true,
+	skipPkgs:     map[string]bool{storagePath: true},
+}
+
+func runSelAlias(pass *Pass) error {
+	if err := runOwnership(pass, selAliasSpec); err != nil {
+		return err
+	}
+	if selAliasSpec.skipPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, r := range x.Rhs {
+					if !isSelCall(pass.TypesInfo, r) || i >= len(x.Lhs) {
+						continue
+					}
+					if retains(pass.TypesInfo, x.Lhs[i]) {
+						reportSelRetention(pass, r)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if isSelCall(pass.TypesInfo, r) {
+						reportSelRetention(pass, r)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if isSelCall(pass.TypesInfo, el) {
+						reportSelRetention(pass, el)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportSelRetention(pass *Pass, e ast.Expr) {
+	if suppressedBy(pass, e.Pos(), selAliasSpec.directive) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"Batch.Sel aliases pooled backing; storing or returning it outlives the batch "+
+			"(use DetachSel, or annotate //sommelier:sel-retained)")
+}
+
+// isSelCall reports whether e is a direct Batch.Sel() call.
+func isSelCall(info *types.Info, e ast.Expr) bool {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return funcKey(calleeFunc(info, c)) == sp+"Batch.Sel"
+}
+
+// retains reports whether an assignment target outlives the statement
+// in a way the dataflow cannot follow: a field, an element of a
+// container, a dereference, or a package-level variable.
+func retains(info *types.Info, l ast.Expr) bool {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return false
+		}
+		return localVar(info, x) == nil && info.ObjectOf(x) != nil
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSelAliasGolden(t *testing.T) {
+	RunGolden(t, SelAlias, "testdata/selalias")
+}

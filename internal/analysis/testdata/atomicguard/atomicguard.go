@@ -1,0 +1,62 @@
+// Package atomicguard is the golden fixture for the atomicguard
+// analyzer: a location touched by sync/atomic anywhere in the package
+// must never also be accessed plainly.
+package atomicguard
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	frozen int64
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// report mixes a plain read in with the atomic increments.
+func (c *counters) report() int64 {
+	return c.hits // want "\"hits\" is accessed with sync/atomic elsewhere in this package"
+}
+
+// reset mixes a plain write in.
+func (c *counters) reset() {
+	c.misses = 0 // want "\"misses\" is accessed with sync/atomic elsewhere in this package"
+}
+
+func (c *counters) miss() {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+// read races with bump.
+func read() int64 {
+	return total // want "\"total\" is accessed with sync/atomic elsewhere in this package"
+}
+
+// readAtomic is the sanctioned access.
+func readAtomic(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// wrapped uses the modern typed API: plain access is a type error
+// already, so the analyzer stays out of the way.
+var wrapped atomic.Int64
+
+func wrappedUse() int64 {
+	wrapped.Store(1)
+	return wrapped.Load()
+}
+
+// freeze documents a single-goroutine window where plain access is
+// deliberate.
+func (c *counters) freeze() int64 {
+	atomic.AddInt64(&c.frozen, 0)
+	return c.frozen //sommelier:atomic-guarded called only after the worker pool has drained
+}

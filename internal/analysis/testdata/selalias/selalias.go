@@ -1,0 +1,65 @@
+// Package selalias is the golden fixture for the selalias analyzer:
+// retained or stale aliases of a pooled batch's selection vector and
+// column backings.
+package selalias
+
+import "sommelier/internal/storage"
+
+var globalSel []int32
+
+type holder struct{ sel []int32 }
+
+// storeGlobal parks the selection vector where it outlives the batch.
+func storeGlobal(b *storage.Batch) {
+	globalSel = b.Sel() // want "Batch.Sel aliases pooled backing"
+}
+
+// returnSel hands the selection vector to a caller the analysis cannot
+// see.
+func returnSel(b *storage.Batch) []int32 {
+	return b.Sel() // want "Batch.Sel aliases pooled backing"
+}
+
+// storeField retains the selection vector in a struct.
+func storeField(h *holder, b *storage.Batch) {
+	h.sel = b.Sel() // want "Batch.Sel aliases pooled backing"
+}
+
+// staleSel reads a selection alias after its batch was recycled.
+func staleSel() int32 {
+	b := storage.NewPooledBatch(storage.NewInt64Column([]int64{1}))
+	s := b.Sel()
+	storage.PutBatch(b)
+	return s[0] // want "\"s\" aliases pooled backing of \"b\""
+}
+
+// staleCol reads a column alias after its batch was recycled.
+func staleCol() storage.Column {
+	b := storage.NewPooledBatch(storage.NewInt64Column([]int64{1}))
+	c := b.Cols[0]
+	storage.PutBatch(b)
+	return c // want "\"c\" aliases pooled backing of \"b\""
+}
+
+// cleanDetach uses the sanctioned escape hatch: DetachSel severs the
+// selection vector from the batch's lifetime.
+func cleanDetach(b *storage.Batch) []int32 {
+	base, sel := b.DetachSel()
+	storage.PutBatch(base)
+	return sel
+}
+
+// cleanUseBeforeRelease reads the alias strictly before the release.
+func cleanUseBeforeRelease() int {
+	b := storage.NewPooledBatch(storage.NewInt64Column([]int64{7}))
+	s := b.Sel()
+	n := len(s)
+	storage.PutBatch(b)
+	return n
+}
+
+// suppressedRetention documents a batch that outlives the program.
+func suppressedRetention(b *storage.Batch) []int32 {
+	//sommelier:sel-retained the batch is never pooled in this configuration
+	return b.Sel()
+}

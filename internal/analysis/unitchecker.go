@@ -1,0 +1,143 @@
+package analysis
+
+// The `go vet -vettool` driver: cmd/go invokes the tool once per
+// package with a *.cfg file describing the unit (source files, import
+// map, export data locations), after probing it with -V=full (tool
+// identity for the build cache) and -flags (supported flags). This is
+// a dependency-free reimplementation of the x/tools unitchecker
+// protocol; diagnostics go to stderr as file:line:col lines and the
+// process exits 2 when any were reported, which is how vet detects
+// findings.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON unit description cmd/go hands to vet
+// tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool entry point. With -V=full or -flags it
+// answers cmd/go's probes; with a single *.cfg argument it checks that
+// unit; with package patterns it falls back to the standalone loader.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(checkUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sommelierlint package...")
+		os.Exit(1)
+	}
+	diags, err := RunPatterns("", analyzers, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sommelierlint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion answers `-V=full`: a single "name version id" line
+// that changes whenever the tool binary changes, so vet's result
+// cache invalidates with it.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("sommelierlint version devel buildID=%s\n", id)
+}
+
+func checkUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sommelierlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sommelierlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// Always produce the facts file vet expects, even empty: the suite
+	// is purely intra-package.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sommelierlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	lp, err := typeCheckDir(cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookup, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sommelierlint:", err)
+		return 1
+	}
+	diags, err := runPackage(lp.NewPass(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sommelierlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", lp.Fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

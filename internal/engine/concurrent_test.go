@@ -79,6 +79,7 @@ func TestConcurrentStressAllApproaches(t *testing.T) {
 					t.Fatalf("serial query %d: %v", i, err)
 				}
 				want[i] = sortedRows(res)
+				res.Release()
 			}
 
 			// Concurrent replay on another fresh DB.
@@ -102,7 +103,9 @@ func TestConcurrentStressAllApproaches(t *testing.T) {
 								t.Errorf("goroutine %d query %d: %v", g, i, err)
 								return
 							}
-							if got := sortedRows(res); got != want[i] {
+							got := sortedRows(res)
+							res.Release()
+							if got != want[i] {
 								t.Errorf("goroutine %d query %d diverged from serial:\n%s\nvs\n%s", g, i, got, want[i])
 								return
 							}

@@ -269,9 +269,19 @@ func (db *DB) fetchSeries(station, channel string, from, to int64) ([]int64, []f
 	}
 	flat := res.Rel.Flatten()
 	if flat.Len() == 0 {
+		res.Release()
 		return nil, nil, nil
 	}
-	return storage.Int64s(flat.Cols[0]), storage.Float64s(flat.Cols[1]), nil
+	times, vals := storage.Int64s(flat.Cols[0]), storage.Float64s(flat.Cols[1])
+	if len(res.Rel.Batches()) > 1 {
+		// Flatten copied the rows out; the drained batches can recycle.
+		res.Release()
+	} else {
+		// flat IS the single pooled batch and the returned slices alias
+		// its backing: hand the memory to the GC instead of the pool.
+		res.Rel.Disown()
+	}
+	return times, vals, nil
 }
 
 func (db *DB) fillSizes() {
@@ -617,9 +627,11 @@ func (db *DB) MaterializedWindows() int { return db.dmd.MaterializedCount() }
 // WarmUp runs a query once to populate caches (for "hot" measurements).
 func (db *DB) WarmUp(sql string, runs int) error {
 	for i := 0; i < runs; i++ {
-		if _, err := db.Query(sql); err != nil {
+		res, err := db.Query(sql)
+		if err != nil {
 			return err
 		}
+		res.Release()
 	}
 	return nil
 }
@@ -650,6 +662,7 @@ func (db *DB) ExplainAnalyze(sql string, args ...any) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer res.Release()
 	out := fmt.Sprintf("-- type: T%d  two-stage: %t\n", p.Type(), p.TwoStage)
 	out += plan.RenderAnnotated(p.Root, p.Qf, func(n plan.Node) string {
 		s1, s2 := trace.Rows(n, 1), trace.Rows(n, 2)

@@ -165,6 +165,8 @@ func TestQuery2EndToEndWithDerivation(t *testing.T) {
 	if db.MaterializedWindows() != 5 {
 		t.Fatalf("materialized = %d", db.MaterializedWindows())
 	}
+	res.Release()
+	res2.Release()
 }
 
 func TestAllApproachesAgree(t *testing.T) {
@@ -192,6 +194,7 @@ func TestAllApproachesAgree(t *testing.T) {
 				t.Fatalf("%s T%d: %v", app, qt, err)
 			}
 			answers[key{qt, app}] = renderRows(res)
+			res.Release()
 		}
 	}
 	for qt := 1; qt <= 5; qt++ {

@@ -80,6 +80,7 @@ func runQuerySuite(t *testing.T, dir string, app registrar.Approach, optDisable 
 			t.Fatalf("%s (disable %s) query %d: %v", app, optDisable, qi, err)
 		}
 		out = append(out, renderRows(res))
+		res.Release()
 	}
 	return out
 }

@@ -39,6 +39,7 @@ func TestParallelQueriesAllApproachesRace(t *testing.T) {
 					t.Fatalf("serial query %d: %v", i, err)
 				}
 				want[i] = sortedRows(res)
+				res.Release()
 			}
 
 			db, err := Open(dir, Config{Approach: app, MaxParallel: 3})
@@ -61,7 +62,9 @@ func TestParallelQueriesAllApproachesRace(t *testing.T) {
 								t.Errorf("goroutine %d query %d: %v", g, i, err)
 								return
 							}
-							if got := sortedRows(res); got != want[i] {
+							got := sortedRows(res)
+							res.Release()
+							if got != want[i] {
 								t.Errorf("goroutine %d query %d diverged from serial:\n%s\nvs\n%s", g, i, got, want[i])
 								return
 							}

@@ -46,6 +46,8 @@ func TestDerivedSnapshotRoundTrip(t *testing.T) {
 	if renderRows(res2) != renderRows(res) {
 		t.Fatal("restored view changed the answer")
 	}
+	res.Release()
+	res2.Release()
 }
 
 func TestLoadDerivedValidation(t *testing.T) {
@@ -101,4 +103,5 @@ func TestSaveDerivedEagerDMd(t *testing.T) {
 	if res.Stats.ChunksLoaded != 0 {
 		t.Fatal("T2 on restored snapshot touched chunks")
 	}
+	res.Release()
 }

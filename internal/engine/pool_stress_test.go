@@ -65,7 +65,6 @@ func TestPooledOwnershipStress(t *testing.T) {
 		res.Release()
 	}
 
-	baseline := storage.Outstanding()
 	const (
 		workers = 6
 		rounds  = 8
@@ -97,9 +96,7 @@ func TestPooledOwnershipStress(t *testing.T) {
 	for err := range errs {
 		t.Fatalf("stress query: %v", err)
 	}
-	if got := storage.Outstanding(); got != baseline {
-		t.Errorf("pool outstanding = %d after stress, want %d: pooled memory leaked or double-owned", got, baseline)
-	}
+	storage.RequireNoLeaks(t)
 }
 
 // TestPoolingResultPreserving is the pooled/unpooled differential at

@@ -67,6 +67,7 @@ func CollectPlanCache(cfg Config) (*PlanCacheMetrics, error) {
 			return nil, err
 		}
 		if !res.PlanCacheHit {
+			res.Release()
 			return nil, fmt.Errorf("plancache: hot run %d missed the cache", i)
 		}
 		hitCompile += res.Compile

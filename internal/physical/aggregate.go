@@ -399,6 +399,13 @@ func (h *HashAggregate) foldParts(parts []Operator) (*storage.Batch, error) {
 		return nil
 	})
 	if err != nil {
+		// Partials that finished but were never merged still hold pooled
+		// scratch; runParts has returned, so no goroutine touches done.
+		for _, acc := range done {
+			if acc != nil {
+				acc.release()
+			}
+		}
 		final.release()
 		return nil, err
 	}
@@ -498,6 +505,7 @@ func (a *aggAcc) fold(b *storage.Batch) error {
 		for r := 0; r < n; r++ {
 			k, err := index.KeyAt(b, h.groupCols, r)
 			if err != nil {
+				storage.PutBatch(b)
 				return err
 			}
 			g, ok := a.groups[k]

@@ -242,6 +242,8 @@ func TestDifferentialJoinFastKey(t *testing.T) {
 		fast := runJoin(t, dim, fact, false, pred)
 		slow := runJoin(t, dim, fact, true, pred)
 		sameRelation(t, fast, slow, "join fast-vs-composite")
+		fast.Release()
+		slow.Release()
 	}
 	// Empty build side drains to an empty result on both paths.
 	emptyDim := storage.NewRelation()
@@ -250,6 +252,8 @@ func TestDifferentialJoinFastKey(t *testing.T) {
 	if fast.Rows() != 0 || slow.Rows() != 0 {
 		t.Fatalf("empty build: fast=%d slow=%d rows", fast.Rows(), slow.Rows())
 	}
+	fast.Release()
+	slow.Release()
 }
 
 func runAgg(t *testing.T, rel *storage.Relation, names []string, kinds []storage.Kind, groupCol string, forceComposite bool, pred expr.Expr) *storage.Relation {

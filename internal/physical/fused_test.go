@@ -146,7 +146,6 @@ func TestLimitDisownsPooledTruncation(t *testing.T) {
 	rel, names, kinds := diffRel(rng, 8, 512)
 	pred := expr.NewCmp(expr.GT, expr.Col("D.val"), expr.Float(0))
 	outs := []expr.Expr{expr.Col("D.val"), expr.Col("D.ts")}
-	before := storage.Outstanding()
 	fp, err := NewFusedPipeline([]*storage.Relation{rel}, names, kinds, pred, nil,
 		[]string{"v", "ts"}, outs)
 	if err != nil {
@@ -160,9 +159,7 @@ func TestLimitDisownsPooledTruncation(t *testing.T) {
 		t.Fatalf("limit emitted %d rows, want 5", out.Rows())
 	}
 	out.Release()
-	if got := storage.Outstanding(); got != before {
-		t.Fatalf("outstanding %d after limited fused drain, want %d", got, before)
-	}
+	storage.RequireNoLeaks(t)
 }
 
 // TestFusedPipelineNarrowed exercises the source-column mapping of a

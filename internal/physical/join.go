@@ -380,6 +380,7 @@ func (j *HashJoin) probeFrom(right Operator) (*storage.Batch, error) {
 				if err != nil {
 					storage.PutSel(leftIdx)
 					storage.PutSel(rightIdx)
+					storage.PutBatch(base)
 					return nil, err
 				}
 				for _, lr := range j.table[k] {

@@ -81,11 +81,19 @@ func drainInto(op Operator, check func() error, out *storage.Relation, pooled bo
 	for {
 		if check != nil {
 			if err := check(); err != nil {
+				if pooled {
+					out.Release()
+				}
 				return nil, err
 			}
 		}
 		b, err := op.Next()
 		if err != nil {
+			// Batches already drained into out are this function's to
+			// recycle: the caller never sees the partial relation.
+			if pooled {
+				out.Release()
+			}
 			return nil, err
 		}
 		if b == nil {

@@ -152,6 +152,17 @@ func drainParts(parts []Operator, dop int, check func() error, pooled bool) (*st
 		return err
 	})
 	if err != nil {
+		// Parts that finished before the failing one drained into
+		// pooled relations nobody will merge: recycle their batches and
+		// hand the headers back.
+		if pooled {
+			for _, rel := range outs {
+				if rel != nil {
+					rel.Release()
+					storage.PutRelation(rel)
+				}
+			}
+		}
 		return nil, err
 	}
 	nb := 0

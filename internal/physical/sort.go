@@ -60,6 +60,7 @@ func (s *Sort) Next() (*storage.Batch, error) {
 		return nil, err
 	}
 	if rel.Rows() == 0 {
+		rel.Release()
 		return nil, nil
 	}
 	flat := rel.Flatten()

@@ -1,0 +1,24 @@
+package storage
+
+// TB is the subset of *testing.T the leak check needs; a local
+// interface keeps the testing package out of non-test builds.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// RequireNoLeaks fails t when pooled objects are still checked out of
+// the pool. It is the standard epilogue of any test that exercises
+// pooled execution; under `go test -tags pooldebug` the failure also
+// names the acquisition stack of every leaked object.
+func RequireNoLeaks(t TB) {
+	t.Helper()
+	n := Outstanding()
+	if n == 0 {
+		return
+	}
+	t.Errorf("storage: %d pooled objects still outstanding", n)
+	for _, st := range LeakStacks() {
+		t.Errorf("leaked %s", st)
+	}
+}

@@ -108,13 +108,13 @@ var (
 
 // pooledInt64Col wraps vals (drawn from the pool) as an owned column.
 func pooledInt64Col(vals []int64, asTime bool) Column {
-	outstanding.Add(1)
 	if asTime {
 		c, _ := timeCols.Get().(*TimeColumn)
 		if c == nil {
 			c = &TimeColumn{}
 		}
 		c.vals, c.pooled = vals, true
+		trackAcquire(c)
 		return c
 	}
 	c, _ := int64Cols.Get().(*Int64Column)
@@ -122,36 +122,37 @@ func pooledInt64Col(vals []int64, asTime bool) Column {
 		c = &Int64Column{}
 	}
 	c.vals, c.pooled = vals, true
+	trackAcquire(c)
 	return c
 }
 
 func pooledFloat64Col(vals []float64) Column {
-	outstanding.Add(1)
 	c, _ := float64Cols.Get().(*Float64Column)
 	if c == nil {
 		c = &Float64Column{}
 	}
 	c.vals, c.pooled = vals, true
+	trackAcquire(c)
 	return c
 }
 
 func pooledBoolCol(vals []bool) Column {
-	outstanding.Add(1)
 	c, _ := boolCols.Get().(*BoolColumn)
 	if c == nil {
 		c = &BoolColumn{}
 	}
 	c.vals, c.pooled = vals, true
+	trackAcquire(c)
 	return c
 }
 
 func pooledStringCol(dict []string, codes []int32) Column {
-	outstanding.Add(1)
 	c, _ := stringCols.Get().(*StringColumn)
 	if c == nil {
 		c = &StringColumn{}
 	}
 	c.dict, c.codes, c.pooled = dict, codes, true
+	trackAcquire(c)
 	return c
 }
 
@@ -168,7 +169,7 @@ func PutColumn(c Column) {
 		if !c.pooled {
 			return
 		}
-		outstanding.Add(-1)
+		trackRelease(c)
 		int64Slices.put(c.vals)
 		c.vals, c.pooled = nil, false
 		int64Cols.Put(c)
@@ -176,7 +177,7 @@ func PutColumn(c Column) {
 		if !c.pooled {
 			return
 		}
-		outstanding.Add(-1)
+		trackRelease(c)
 		int64Slices.put(c.vals)
 		c.vals, c.pooled = nil, false
 		timeCols.Put(c)
@@ -184,7 +185,7 @@ func PutColumn(c Column) {
 		if !c.pooled {
 			return
 		}
-		outstanding.Add(-1)
+		trackRelease(c)
 		float64Slices.put(c.vals)
 		c.vals, c.pooled = nil, false
 		float64Cols.Put(c)
@@ -192,7 +193,7 @@ func PutColumn(c Column) {
 		if !c.pooled {
 			return
 		}
-		outstanding.Add(-1)
+		trackRelease(c)
 		boolSlices.put(c.vals)
 		c.vals, c.pooled = nil, false
 		boolCols.Put(c)
@@ -200,7 +201,7 @@ func PutColumn(c Column) {
 		if !c.pooled {
 			return
 		}
-		outstanding.Add(-1)
+		trackRelease(c)
 		PutSel(c.codes) // codes share the selection-vector pool shape
 		c.dict, c.codes, c.pooled = nil, nil, false
 		stringCols.Put(c)
@@ -224,13 +225,13 @@ func NewPooledBatch(cols ...Column) *Batch {
 		// overwrites.
 		return &Batch{Cols: append([]Column(nil), cols...)}
 	}
-	outstanding.Add(1)
 	b, _ := batches.Get().(*Batch)
 	if b == nil {
 		b = &Batch{}
 	}
 	b.Cols = append(b.Cols[:0], cols...)
 	b.sel, b.pooled = nil, true
+	trackAcquire(b)
 	return b
 }
 
@@ -246,13 +247,13 @@ func ViewWithSel(b *Batch, sel []int32) *Batch {
 	if b.sel != nil {
 		panic("storage: ViewWithSel on a batch already carrying a selection")
 	}
-	outstanding.Add(1)
 	v, _ := batches.Get().(*Batch)
 	if v == nil {
 		v = &Batch{}
 	}
 	v.Cols = append(v.Cols[:0], b.Cols...)
 	v.sel, v.pooled = sel, true
+	trackAcquire(v)
 	return v
 }
 
@@ -305,7 +306,7 @@ func putBatchHeader(b *Batch) {
 	if !b.pooled {
 		return
 	}
-	outstanding.Add(-1)
+	trackRelease(b)
 	b.Cols = b.Cols[:0]
 	b.sel, b.pooled = nil, false
 	batches.Put(b)
@@ -398,7 +399,7 @@ func DisownBatch(b *Batch) {
 		disownColumn(c)
 	}
 	if b.pooled {
-		outstanding.Add(-1)
+		trackRelease(b)
 		b.pooled = false
 	}
 }
@@ -407,27 +408,27 @@ func disownColumn(c Column) {
 	switch c := c.(type) {
 	case *Int64Column:
 		if c.pooled {
-			outstanding.Add(-1)
+			trackRelease(c)
 			c.pooled = false
 		}
 	case *TimeColumn:
 		if c.pooled {
-			outstanding.Add(-1)
+			trackRelease(c)
 			c.pooled = false
 		}
 	case *Float64Column:
 		if c.pooled {
-			outstanding.Add(-1)
+			trackRelease(c)
 			c.pooled = false
 		}
 	case *BoolColumn:
 		if c.pooled {
-			outstanding.Add(-1)
+			trackRelease(c)
 			c.pooled = false
 		}
 	case *StringColumn:
 		if c.pooled {
-			outstanding.Add(-1)
+			trackRelease(c)
 			c.pooled = false
 		}
 	}

@@ -47,22 +47,18 @@ func sampleColumn(k Kind, n int) Column {
 // TestPutBatchDuplicateColumn guards the SELECT a, a shape: a column
 // referenced twice in one batch is recycled exactly once.
 func TestPutBatchDuplicateColumn(t *testing.T) {
-	before := Outstanding()
 	b := NewPooledBuilder(KindInt64, 8)
 	b.(*Int64Builder).Append(1)
 	c := b.Finish()
 	batch := NewPooledBatch(c, c)
 	PutBatch(batch)
-	if got := Outstanding(); got != before {
-		t.Fatalf("outstanding %d after dup-column put, want %d", got, before)
-	}
+	RequireNoLeaks(t)
 }
 
 // TestViewWithSelOwnership checks the pooled selection view: attaching
 // a selection to an unpooled batch borrows a pooled header, and the
 // consumer's PutBatch (or a materializing append) returns it.
 func TestViewWithSelOwnership(t *testing.T) {
-	before := Outstanding()
 	base := NewBatch(NewInt64Column([]int64{1, 2, 3, 4}))
 	v := ViewWithSel(base, IdentitySel(4)[:2])
 	if v.Len() != 2 {
@@ -70,9 +66,7 @@ func TestViewWithSelOwnership(t *testing.T) {
 	}
 	out := NewRelation()
 	out.Append(v) // materializes: gathers rows, recycles sel and header
-	if got := Outstanding(); got != before {
-		t.Fatalf("outstanding %d after materializing append, want %d", got, before)
-	}
+	RequireNoLeaks(t)
 	if out.Rows() != 2 {
 		t.Fatalf("rows %d, want 2", out.Rows())
 	}
@@ -85,7 +79,6 @@ func TestViewWithSelOwnership(t *testing.T) {
 // TestRelationReleaseMixed releases a relation holding a pooled batch
 // next to a shared (unpooled) batch: only the pooled memory returns.
 func TestRelationReleaseMixed(t *testing.T) {
-	before := Outstanding()
 	shared := NewBatch(NewInt64Column([]int64{9, 9}))
 	pb := NewPooledBuilder(KindInt64, 4)
 	pb.(*Int64Builder).Append(1)
@@ -95,9 +88,7 @@ func TestRelationReleaseMixed(t *testing.T) {
 	rel.Append(shared)
 	rel.Append(pooledBatch)
 	rel.Release()
-	if got := Outstanding(); got != before {
-		t.Fatalf("outstanding %d after release, want %d", got, before)
-	}
+	RequireNoLeaks(t)
 	if rel.Rows() != 0 {
 		t.Fatalf("released relation reports %d rows", rel.Rows())
 	}
@@ -128,6 +119,7 @@ func TestGatherPooledMatchesGather(t *testing.T) {
 		}
 		PutColumn(got)
 	}
+	RequireNoLeaks(t)
 }
 
 // TestSetPoolingOff checks the differential toggle: with pooling off,
@@ -185,7 +177,6 @@ func TestPooledCoalescerMultiFlushPoolingOff(t *testing.T) {
 // under -race: every goroutine runs full build→batch→release cycles on
 // shared pools; the gauge returns to its baseline.
 func TestPoolConcurrentOwnership(t *testing.T) {
-	before := Outstanding()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -206,9 +197,7 @@ func TestPoolConcurrentOwnership(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := Outstanding(); got != before {
-		t.Fatalf("outstanding %d after concurrent cycles, want %d", got, before)
-	}
+	RequireNoLeaks(t)
 }
 
 // TestZoneInheritance asserts the incremental zone-map protocol: a

@@ -1,0 +1,51 @@
+//go:build pooldebug
+
+package storage
+
+// The pooldebug build answers the question the bare counter cannot:
+// WHO forgot to release. Every checkout records the goroutine stack it
+// happened on, keyed by the object's identity; releasing deletes the
+// record, and LeakStacks dumps whatever is left.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PoolDebug reports whether this binary records acquisition stacks;
+// alloc-budget tests skip themselves when it is set.
+const PoolDebug = true
+
+var (
+	trackMu    sync.Mutex
+	liveStacks = map[any]string{}
+)
+
+func trackAcquire(obj any) {
+	outstanding.Add(1)
+	buf := make([]byte, 16<<10)
+	n := runtime.Stack(buf, false)
+	trackMu.Lock()
+	liveStacks[obj] = string(buf[:n])
+	trackMu.Unlock()
+}
+
+func trackRelease(obj any) {
+	outstanding.Add(-1)
+	trackMu.Lock()
+	delete(liveStacks, obj)
+	trackMu.Unlock()
+}
+
+// LeakStacks returns, for every pooled object still checked out, the
+// stack it was acquired on.
+func LeakStacks() []string {
+	trackMu.Lock()
+	defer trackMu.Unlock()
+	out := make([]string, 0, len(liveStacks))
+	for obj, st := range liveStacks {
+		out = append(out, fmt.Sprintf("%T acquired at:\n%s", obj, st))
+	}
+	return out
+}

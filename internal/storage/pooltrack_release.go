@@ -1,0 +1,20 @@
+//go:build !pooldebug
+
+package storage
+
+// In the default build, pool accounting is a single shared counter:
+// one atomic add per checkout, nothing to look at but the total. Build
+// with -tags pooldebug to record the acquisition stack of every live
+// object instead.
+
+// PoolDebug reports whether this binary records acquisition stacks;
+// alloc-budget tests skip themselves when it is set.
+const PoolDebug = false
+
+func trackAcquire(any) { outstanding.Add(1) }
+
+func trackRelease(any) { outstanding.Add(-1) }
+
+// LeakStacks reports the acquisition stacks of live pooled objects;
+// only the pooldebug build records them.
+func LeakStacks() []string { return nil }
