@@ -52,8 +52,11 @@ bench:
 ## cold vs cache-hit, plan-cache hit rate, prepared-vs-direct QPS) and
 ## BENCH_memory.json (micro allocs/op + bytes/op on the pooled path,
 ## heap-in-use and GC pauses over the 48-query bag, hot-query p50/p99
-## latency at 1/16 clients). BENCH_selection.json is the frozen
-## pre-parallelism baseline — do not overwrite it.
+## latency at 1/16 clients) and BENCH_streaming.json (time-to-first-row
+## and peak heap streaming vs materialized, the LIMIT-10 full-scan
+## first-row speedup, and top-k pushdown vs Sort+Limit).
+## BENCH_selection.json is the frozen pre-parallelism baseline — do not
+## overwrite it.
 bench-json:
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_parallel.json
 	@cat BENCH_parallel.json
@@ -61,6 +64,8 @@ bench-json:
 	@cat BENCH_plancache.json
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -memory-json BENCH_memory.json
 	@cat BENCH_memory.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -streaming-json BENCH_streaming.json
+	@cat BENCH_streaming.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

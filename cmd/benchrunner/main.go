@@ -39,6 +39,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write headline metrics as JSON to this path and exit")
 	planCachePath := flag.String("plancache-json", "", "write plan-cache metrics (compile_us, hit rate, prepared vs direct QPS) as JSON to this path and exit")
 	memoryPath := flag.String("memory-json", "", "write memory metrics (micro allocs/op, heap+GC over the 48-query bag, hot-query p50/p99 at 1/16 clients) as JSON to this path and exit")
+	streamingPath := flag.String("streaming-json", "", "write streaming metrics (time-to-first-row and peak heap streaming vs materialized, LIMIT-10 scan speedup, top-k pushdown) as JSON to this path and exit")
 	flag.Parse()
 
 	dir := *work
@@ -61,6 +62,13 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
 	}
 
+	if *streamingPath != "" {
+		if err := experiments.WriteStreamingJSON(cfg, *streamingPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *streamingPath)
+		return
+	}
 	if *memoryPath != "" {
 		if err := experiments.WriteMemoryJSON(cfg, *memoryPath); err != nil {
 			fatal(err)

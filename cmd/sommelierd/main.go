@@ -55,18 +55,19 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
 		cachePolicy = flag.String("cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
 		maxPar      = flag.Int("max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
+		maxQueryB   = flag.Int64("max-query-bytes", 0, "per-query memory ceiling on materialized bytes; exceeding it fails the query with 413 (0 = unlimited)")
 		genDays     = flag.Int("gen-days", 2, "days of synthetic data when generating a demo repo")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if err := run(*addr, *dir, *approach, *workers, *queue, *timeout, *maxTimeout,
-		*cacheBytes, *cachePolicy, *maxPar, *genDays, *pprofAddr); err != nil {
+		*cacheBytes, *cachePolicy, *maxPar, *maxQueryB, *genDays, *pprofAddr); err != nil {
 		log.Fatalf("sommelierd: %v", err)
 	}
 }
 
 func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout time.Duration,
-	cacheBytes int64, cachePolicy string, maxPar, genDays int, pprofAddr string) error {
+	cacheBytes int64, cachePolicy string, maxPar int, maxQueryBytes int64, genDays int, pprofAddr string) error {
 	if pprofAddr != "" {
 		// Opt-in profiling endpoint on its own listener, so CPU and
 		// contention profiles can be captured from a production server
@@ -103,10 +104,11 @@ func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout tim
 
 	t0 := time.Now()
 	db, err := engine.Open(dir, engine.Config{
-		Approach:    registrar.Approach(approach),
-		CacheBytes:  cacheBytes,
-		CachePolicy: policy,
-		MaxParallel: maxPar,
+		Approach:      registrar.Approach(approach),
+		CacheBytes:    cacheBytes,
+		CachePolicy:   policy,
+		MaxParallel:   maxPar,
+		MaxQueryBytes: maxQueryBytes,
 	})
 	if err != nil {
 		return err

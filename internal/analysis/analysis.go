@@ -172,10 +172,13 @@ func funcKey(f *types.Func) string {
 			rt = p.Elem()
 		}
 		if named, ok := rt.(*types.Named); ok {
-			return f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+			if _, isIface := named.Underlying().(*types.Interface); !isIface {
+				return f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+			}
 		}
-		// Interface-method call: key by package-less method name; the
-		// tables list those explicitly (e.g. Builder.Finish).
+		// Interface-method call (named or anonymous interface): key by
+		// package-less method name; the tables list those explicitly
+		// (.Eval, .Push), since the dynamic type is unknowable here.
 		return "." + f.Name()
 	}
 	return f.Pkg().Path() + "." + f.Name()

@@ -51,6 +51,11 @@ type ownSpec struct {
 	// consumers maps funcKey → what the call does to its target (the
 	// receiver for methods, the first argument for functions).
 	consumers map[string]consumeKind
+	// argConsumers maps funcKey → what the call does to its first
+	// argument, for methods that borrow their receiver but take
+	// ownership of the argument (StreamSink.Push: the sink lives on,
+	// the pushed batch is the sink's to recycle).
+	argConsumers map[string]consumeKind
 	// borrows lists calls that read a tracked value without taking
 	// ownership; unlisted calls transfer ownership out of the analysis.
 	borrows map[string]bool
@@ -577,6 +582,18 @@ func (w *walker) call(c *ast.CallExpr) {
 			// No use() here: consuming a released value reports "double",
 			// which subsumes the use-after-release a use would add.
 			w.consume(target, c, kind)
+		}
+		return
+	}
+	if kind, ok := spec.argConsumers[key]; ok {
+		if recv := w.receiver(c); recv != nil {
+			w.use(recv)
+		}
+		if len(c.Args) > 0 {
+			w.consume(c.Args[0], c, kind)
+		}
+		for _, arg := range c.Args[1:] {
+			w.use(arg)
 		}
 		return
 	}

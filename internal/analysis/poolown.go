@@ -39,6 +39,13 @@ var poolOwnSpec = &ownSpec{
 		sp + "DisownBatch":      consumeDisown,
 		sp + "Relation.Disown":  consumeDisown,
 	},
+	argConsumers: map[string]consumeKind{
+		// Sink transfer: handing a batch to a StreamSink moves ownership
+		// to the sink (the StreamSink contract — Push recycles or retains
+		// the batch, even on error), so the push is the one consumer.
+		// Matches by bare method name, as .Eval does in poolBorrows.
+		".Push": consumeRelease,
+	},
 	borrows: poolBorrows,
 	recvBorrows: map[string]bool{
 		// The relation stays owned; the appended batch is handed off.

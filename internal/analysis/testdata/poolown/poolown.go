@@ -95,3 +95,29 @@ func suppressed() {
 	b := storage.NewPooledBatch(ints())
 	_ = b
 }
+
+// sink mimics physical.StreamSink: Push takes ownership of the batch.
+type sink interface {
+	Push(b *storage.Batch) error
+}
+
+// cleanSinkTransfer hands the batch to a sink; the push is the one
+// consumer, even on error.
+func cleanSinkTransfer(s sink) error {
+	b := storage.NewPooledBatch(ints())
+	return s.Push(b)
+}
+
+// sinkDoubleRelease recycles a batch the sink already owns.
+func sinkDoubleRelease(s sink) {
+	b := storage.NewPooledBatch(ints())
+	_ = s.Push(b)
+	storage.PutBatch(b) // want "pooled value \"b\" may already be released here"
+}
+
+// sinkUseAfterPush reads rows the sink may have recycled.
+func sinkUseAfterPush(s sink) int {
+	b := storage.NewPooledBatch(ints())
+	_ = s.Push(b)
+	return b.Len() // want "use of pooled value \"b\" after it may have been released"
+}

@@ -17,6 +17,7 @@ import (
 	"sommelier/internal/exec"
 	"sommelier/internal/expr"
 	"sommelier/internal/opt"
+	"sommelier/internal/physical"
 	"sommelier/internal/plan"
 	"sommelier/internal/registrar"
 	"sommelier/internal/seismic"
@@ -50,6 +51,12 @@ type Config struct {
 	// special value "none" forces every rule on regardless of the
 	// environment.
 	OptDisable string
+	// MaxQueryBytes caps the bytes any single query may materialize
+	// into its own buffers (result relations, sort input, join build
+	// side, streaming run-ahead); 0 = unlimited. A query over the
+	// ceiling fails with a *storage.QuotaError — the multi-tenant
+	// admission-control knob (sommelierd -max-query-bytes).
+	MaxQueryBytes int64
 }
 
 // DefaultCacheBytes is the recycler capacity when none is configured.
@@ -77,6 +84,11 @@ type DB struct {
 	optCtx   opt.Context
 	optRules opt.Options
 	plans    *planCache
+
+	// forceStream (SOMMELIER_FORCE_STREAMING) routes every materialized
+	// Query through the streaming executor into a collecting sink, so
+	// the full test suite exercises the streaming path.
+	forceStream bool
 
 	// seriesPlan is the derived-metadata fetcher's parameterized series
 	// query, compiled on first use and replayed per derivation.
@@ -218,6 +230,10 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		size = DefaultPlanCacheSize
 	}
 	db.plans = newPlanCache(size)
+	db.env.MaxQueryBytes = cfg.MaxQueryBytes
+	if v := strings.TrimSpace(os.Getenv(EnvForceStreaming)); v != "" && v != "0" {
+		db.forceStream = true
+	}
 
 	db.dmd = dmd.NewManager(db.cat, fetcherFunc(db.fetchSeries))
 	if cfg.Approach == registrar.EagerDMd {
@@ -387,7 +403,36 @@ func (db *DB) execCompiled(ctx context.Context, c *compiled, args []*expr.Const)
 	if err != nil {
 		return nil, err
 	}
+	if db.forceStream {
+		// Forced streaming (tests, CI): run the streaming executor into
+		// a collecting sink, reproducing the materialized result through
+		// the streaming path.
+		sink := &physical.CollectSink{}
+		res, err := exec.ExecuteStreamParams(ctx, db.env, c.plan, args, sink)
+		if err != nil {
+			return nil, err
+		}
+		if sink.Rel != nil {
+			res.Rel = sink.Rel
+		}
+		return &Result{Result: res, QueryType: c.plan.Type(), DMd: dst, Plan: c.plan}, nil
+	}
 	res, err := exec.ExecuteParams(ctx, db.env, c.plan, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, QueryType: c.plan.Type(), DMd: dst, Plan: c.plan}, nil
+}
+
+// execCompiledStream is execCompiled with streaming delivery: result
+// batches reach sink incrementally and the returned Result carries an
+// empty relation (schema, stats and provenance only).
+func (db *DB) execCompiledStream(ctx context.Context, c *compiled, args []*expr.Const, sink StreamSink) (*Result, error) {
+	dst, err := db.prepareDMd(c, args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.ExecuteStreamParams(ctx, db.env, c.plan, args, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -450,6 +495,85 @@ func (db *DB) QueryArgsContext(ctx context.Context, sql string, args ...any) (*R
 	}
 	res.Compile, res.PlanCacheHit = compile, hit
 	return res, nil
+}
+
+// StreamSink receives the batches of a streaming query in result
+// order; see physical.StreamSink for the ownership and lifetime
+// contract (pushed batches are the sink's to recycle via
+// storage.PutBatch; rows must be consumed before Push returns;
+// returning ErrStopStream ends the query early without error).
+type StreamSink = physical.StreamSink
+
+// SchemaSink is a StreamSink that also wants the output schema before
+// the first batch (wire encoders writing a header); see
+// physical.SchemaSink.
+type SchemaSink = physical.SchemaSink
+
+// ErrStopStream is returned by a StreamSink to end a streaming query
+// early: the remaining scan work is cancelled and the query reports
+// success.
+var ErrStopStream = physical.ErrStopStream
+
+// EnvForceStreaming, when set (any value but "0"), routes every
+// materialized Query through the streaming executor into a collecting
+// sink: the CI lever that runs the whole suite on the streaming path.
+const EnvForceStreaming = "SOMMELIER_FORCE_STREAMING"
+
+// QueryStream parses, prepares and executes one SQL statement with
+// streaming result delivery: batches reach sink as they are produced,
+// only pipeline breakers (sort, aggregation, join build) materialize,
+// and the query's memory footprint is independent of the result size.
+// The returned Result carries the schema, stats and plan provenance
+// with an empty relation. An EXPLAIN statement streams its plan rows
+// through the sink like any other result.
+func (db *DB) QueryStream(ctx context.Context, sql string, sink StreamSink, args ...any) (*Result, error) {
+	t0 := time.Now()
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		c, hit, err := db.compileStatement(st)
+		if err != nil {
+			return nil, err
+		}
+		res := explainResult(c.plan)
+		res.Compile, res.PlanCacheHit = time.Since(t0), hit
+		return res, streamOut(res, sink)
+	}
+	vals, err := statementArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	c, hit, err := db.compileStatement(st)
+	if err != nil {
+		return nil, err
+	}
+	compile := time.Since(t0)
+	res, err := db.execCompiledStream(ctx, c, vals, sink)
+	if err != nil {
+		return nil, err
+	}
+	res.Compile, res.PlanCacheHit = compile, hit
+	return res, nil
+}
+
+// streamOut pushes an already-materialized result's batches through a
+// sink (the EXPLAIN path, whose rows exist before streaming starts)
+// and leaves the result empty. A sink stop simply drops the remainder.
+func streamOut(res *Result, sink StreamSink) error {
+	if ss, ok := sink.(physical.SchemaSink); ok {
+		ss.SetSchema(res.Names, res.Kinds)
+	}
+	for _, b := range res.Rel.TakeBatches() {
+		if err := sink.Push(b); err != nil {
+			if err == ErrStopStream {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // statementArgs reconciles caller-supplied arguments with the parsed
@@ -566,6 +690,31 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
 		}
 	}
 	return s.db.execCompiled(ctx, s.c, vals)
+}
+
+// QueryStream executes the prepared statement with streaming result
+// delivery; see DB.QueryStream for the sink contract. The zero-compile
+// property of prepared statements holds: streaming reuses the cached
+// plan untouched.
+func (s *Stmt) QueryStream(ctx context.Context, sink StreamSink, args ...any) (*Result, error) {
+	if s.explain {
+		res := explainResult(s.c.plan)
+		return res, streamOut(res, sink)
+	}
+	var vals []*expr.Const
+	if len(args) == 0 && s.defaults != nil {
+		vals = s.defaults
+	} else {
+		if len(args) != s.nParams {
+			return nil, fmt.Errorf("engine: prepared statement needs %d argument(s), got %d", s.nParams, len(args))
+		}
+		var err error
+		vals, err = convertArgs(args)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.db.execCompiledStream(ctx, s.c, vals, sink)
 }
 
 // Run executes a programmatically constructed query specification

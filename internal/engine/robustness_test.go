@@ -30,6 +30,7 @@ func TestConcurrentQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 		want[sql] = renderRows(res)
+		res.Release()
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -44,7 +45,9 @@ func TestConcurrentQueries(t *testing.T) {
 					errs <- err
 					return
 				}
-				if got := renderRows(res); got != want[sql] {
+				got := renderRows(res)
+				res.Release()
+				if got != want[sql] {
 					errs <- errMismatch(sql)
 					return
 				}

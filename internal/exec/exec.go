@@ -96,6 +96,11 @@ type Env struct {
 	// goroutines. 1 gives fully serial execution (the parallelization
 	// ablation); any other value is taken literally per query.
 	MaxParallel int
+	// MaxQueryBytes caps the bytes a single query may materialize into
+	// its own buffers (drained results, sort input, join build side,
+	// streaming run-ahead); 0 means unlimited. Exceeding it aborts the
+	// query with a *storage.QuotaError.
+	MaxQueryBytes int64
 
 	// flights deduplicates concurrent ingestions of the same missing
 	// chunk across every query executing in this environment, keyed by
@@ -238,12 +243,42 @@ func ExecuteParams(ctx context.Context, env *Env, p *plan.Plan, params []*expr.C
 	return ex.run()
 }
 
+// ExecuteStream runs a compiled plan, delivering the result rows
+// incrementally to sink instead of materializing them: only pipeline
+// breakers (sort, aggregation, the join build side) buffer rows, so
+// the query's memory footprint is independent of its result size and
+// the first batch reaches the sink as soon as it is produced. The
+// returned Result carries the schema and stats with an empty relation.
+//
+// Ownership and lifetime follow physical.StreamSink: each pushed batch
+// is the sink's to recycle, and the chunk data a batch may alias is
+// pinned only until ExecuteStream returns — sinks that keep rows
+// longer must copy or serialize them inside Push. A sink returning
+// physical.ErrStopStream ends the query early without error; the
+// cancellation propagates down to the morsel cursor, so LIMIT-style
+// consumers stop the scan instead of discarding it.
+func ExecuteStream(ctx context.Context, env *Env, p *plan.Plan, sink physical.StreamSink) (*Result, error) {
+	return ExecuteStreamParams(ctx, env, p, nil, sink)
+}
+
+// ExecuteStreamParams is ExecuteStream with statement arguments.
+func ExecuteStreamParams(ctx context.Context, env *Env, p *plan.Plan, params []*expr.Const, sink physical.StreamSink) (*Result, error) {
+	ex := &executor{ctx: ctx, env: env, plan: p, params: params, sink: sink}
+	return ex.run()
+}
+
 type executor struct {
 	ctx    context.Context
 	env    *Env
 	plan   *plan.Plan
 	params []*expr.Const
 	trace  *Trace
+	// sink, when set, switches the stage-two drain to streaming
+	// delivery (ExecuteStream).
+	sink physical.StreamSink
+	// quota is the per-query memory ceiling (nil = unlimited),
+	// instantiated from Env.MaxQueryBytes at the start of run.
+	quota *storage.Quota
 
 	qfRel   *storage.Relation
 	qfNames []string
@@ -292,6 +327,7 @@ func (ex *executor) run() (*Result, error) {
 	ex.env.inflight.Add(1)
 	defer ex.env.inflight.Add(-1)
 	ex.par = ex.env.dop()
+	ex.quota = storage.NewQuota(ex.env.MaxQueryBytes)
 	if ex.trace != nil {
 		// Traced execution stays serial so per-operator row counts are
 		// exact without atomics on the hot path. The Counted wrappers
@@ -361,6 +397,28 @@ func (ex *executor) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ex.sink != nil {
+		// Streaming delivery: batches flow to the sink as they are
+		// produced; nothing is materialized here. The chunk pins drop
+		// when this function returns (ex.release), which is why sinks
+		// must consume pushed rows before Push returns.
+		if ss, ok := ex.sink.(physical.SchemaSink); ok {
+			ss.SetSchema(ex.plan.Root.Names(), ex.plan.Root.Kinds())
+		}
+		err := physical.StreamWith(op, ex.sink, physical.StreamOpts{
+			DOP: ex.par, Check: ex.ctx.Err, Pooled: true, Quota: ex.quota,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exec: stage two: %w", err)
+		}
+		ex.stats.Stage2 = time.Since(t2)
+		return &Result{
+			Names: ex.plan.Root.Names(),
+			Kinds: ex.plan.Root.Kinds(),
+			Rel:   storage.NewRelation(),
+			Stats: ex.stats,
+		}, nil
+	}
 	rel, err := ex.drainPooled(op)
 	if err != nil {
 		return nil, fmt.Errorf("exec: stage two: %w", err)
@@ -381,13 +439,13 @@ func (ex *executor) run() (*Result, error) {
 // its own output relation; the reassembled result holds the serial
 // result's rows in the serial order.
 func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
-	return physical.ParallelDrain(op, ex.par, ex.ctx.Err)
+	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Quota: ex.quota})
 }
 
 // drainPooled is drain through the pooled coalescer: the stage-two
 // (root) drain, whose relation the result owner Releases.
 func (ex *executor) drainPooled(op physical.Operator) (*storage.Relation, error) {
-	return physical.ParallelDrainPooled(op, ex.par, ex.ctx.Err)
+	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Pooled: true, Quota: ex.quota})
 }
 
 // selectChunks extracts, per actual-data table, the distinct chunk IDs
@@ -678,6 +736,10 @@ func (ex *executor) build(n plan.Node, inStage1 bool) (physical.Operator, error)
 	if ph, ok := op.(physical.ParallelHinter); ok {
 		ph.SetParallel(ex.par)
 	}
+	// Their internal materializations charge the per-query ceiling.
+	if qh, ok := op.(physical.QuotaHinter); ok {
+		qh.SetQuota(ex.quota)
+	}
 	if ex.trace == nil {
 		return op, nil
 	}
@@ -781,6 +843,20 @@ func (ex *executor) buildInner(n plan.Node, inStage1 bool) (physical.Operator, e
 			keys[i] = physical.SortKey{Col: ki, Desc: k.Desc}
 		}
 		return physical.NewSort(in, keys)
+	case *plan.TopK:
+		in, err := ex.build(n.In, inStage1)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]physical.SortKey, len(n.Keys))
+		for i, k := range n.Keys {
+			ki := indexOf(in.Names(), k.Col)
+			if ki < 0 {
+				return nil, fmt.Errorf("exec: top-k column %q unresolvable", k.Col)
+			}
+			keys[i] = physical.SortKey{Col: ki, Desc: k.Desc}
+		}
+		return physical.NewTopK(in, keys, n.N)
 	case *plan.Limit:
 		in, err := ex.build(n.In, inStage1)
 		if err != nil {

@@ -1,0 +1,355 @@
+package experiments
+
+// This file holds the streaming-execution headline dump (`benchrunner
+// -streaming-json` → BENCH_streaming.json): time-to-first-row and peak
+// heap for streaming vs materialized delivery over wide scans at two
+// result cardinalities (streaming peak memory must not grow with the
+// result), the LIMIT-10-over-a-full-archive-scan first-row speedup
+// (sink-driven cancellation stops the scan after the first batches),
+// and the top-k pushdown comparison (the `topk` rule's bounded heap vs
+// the Sort+Limit pair it replaces).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sommelier/internal/engine"
+	"sommelier/internal/physical"
+	"sommelier/internal/registrar"
+	"sommelier/internal/storage"
+)
+
+// StreamingCase compares one query's materialized and streaming
+// executions. For the materialized path first row == last row: nothing
+// is visible until the whole result exists, so its time-to-first-row
+// is its total latency.
+type StreamingCase struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	Rows  int    `json:"rows"`
+	// Materialized path.
+	MaterializedTotalUS   int64  `json:"materialized_total_us"`
+	MaterializedHeapPeakB uint64 `json:"materialized_heap_peak_bytes"`
+	MaterializedResultB   int64  `json:"materialized_result_bytes"`
+	// Streaming path.
+	StreamFirstRowUS int64   `json:"stream_first_row_us"`
+	StreamTotalUS    int64   `json:"stream_total_us"`
+	StreamHeapPeakB  uint64  `json:"stream_heap_peak_bytes"`
+	StreamMaxBatchB  int64   `json:"stream_max_pushed_batch_bytes"`
+	FirstRowSpeedup  float64 `json:"first_row_speedup"`
+}
+
+// TopKCase compares ORDER BY + LIMIT execution with the topk rule on
+// (bounded-heap operator) and off (full Sort feeding Limit), both
+// materialized, on otherwise identical databases.
+type TopKCase struct {
+	Name          string  `json:"name"`
+	Query         string  `json:"query"`
+	Rows          int     `json:"rows"`
+	TopKUS        int64   `json:"topk_us"`
+	TopKHeapPeakB uint64  `json:"topk_heap_peak_bytes"`
+	SortLimitUS   int64   `json:"sort_limit_us"`
+	SortHeapPeakB uint64  `json:"sort_limit_heap_peak_bytes"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// StreamingReport is the machine-readable streaming summary.
+type StreamingReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	ScaleFactor   int             `json:"scale_factor"`
+	Cases         []StreamingCase `json:"cases"`
+	TopK          []TopKCase      `json:"topk"`
+}
+
+// heapSampler polls HeapInuse while a measured run executes; peak
+// memory of a query is a sampled quantity, not an instantaneous one.
+type heapSampler struct {
+	stop chan struct{}
+	done chan uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan uint64)}
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		t := time.NewTicker(200 * time.Microsecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			case <-s.stop:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+				s.done <- peak
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) peak() uint64 {
+	close(s.stop)
+	return <-s.done
+}
+
+// ttfrSink recycles streamed batches, recording the first-push time
+// and the largest single batch it ever held — the streaming path's
+// resident working set.
+type ttfrSink struct {
+	start    time.Time
+	firstAt  time.Duration
+	rows     int
+	maxBatch int64
+	// stopAt > 0 makes the sink return ErrStopStream once it has that
+	// many rows — the first-N client whose stop cancels the scan.
+	stopAt int
+}
+
+func (s *ttfrSink) Push(b *storage.Batch) error {
+	if s.rows == 0 {
+		s.firstAt = time.Since(s.start)
+	}
+	s.rows += b.Len()
+	if sz := b.MemSize(); sz > s.maxBatch {
+		s.maxBatch = sz
+	}
+	storage.PutBatch(b)
+	if s.stopAt > 0 && s.rows >= s.stopAt {
+		return physical.ErrStopStream
+	}
+	return nil
+}
+
+// measureCase runs one query both ways (best of runs, GC'd baseline)
+// and fills a StreamingCase.
+func measureCase(db *engine.DB, name, sql string, runs int) (StreamingCase, error) {
+	c := StreamingCase{Name: name, Query: sql}
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		hs := startHeapSampler()
+		t0 := time.Now()
+		res, err := db.QueryContext(context.Background(), sql)
+		if err != nil {
+			hs.peak()
+			return c, err
+		}
+		total := time.Since(t0)
+		peak := hs.peak()
+		c.Rows = res.Rows()
+		resident := res.Rel.MemSize()
+		res.Release()
+		if r == 0 || total.Microseconds() < c.MaterializedTotalUS {
+			c.MaterializedTotalUS = total.Microseconds()
+			c.MaterializedHeapPeakB = peak
+			c.MaterializedResultB = resident
+		}
+	}
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		hs := startHeapSampler()
+		sink := &ttfrSink{start: time.Now()}
+		sres, err := db.QueryStream(context.Background(), sql, sink)
+		if err != nil {
+			hs.peak()
+			return c, err
+		}
+		total := time.Since(sink.start)
+		peak := hs.peak()
+		sres.Release()
+		if sink.rows != c.Rows {
+			return c, fmt.Errorf("%s: streamed %d rows, materialized %d", name, sink.rows, c.Rows)
+		}
+		first := sink.firstAt
+		if sink.rows == 0 {
+			first = total
+		}
+		if r == 0 || first.Microseconds() < c.StreamFirstRowUS {
+			c.StreamFirstRowUS = first.Microseconds()
+			c.StreamTotalUS = total.Microseconds()
+			c.StreamHeapPeakB = peak
+			c.StreamMaxBatchB = sink.maxBatch
+		}
+	}
+	if c.StreamFirstRowUS > 0 {
+		c.FirstRowSpeedup = float64(c.MaterializedTotalUS) / float64(c.StreamFirstRowUS)
+	}
+	return c, nil
+}
+
+// CollectStreaming runs the streaming-vs-materialized comparison at
+// the first scale factor against the lazy approach.
+func CollectStreaming(cfg Config) (*StreamingReport, error) {
+	sf := cfg.ScaleFactors[0]
+	dir, _, err := cfg.Repo(sf, false)
+	if err != nil {
+		return nil, err
+	}
+	db, err := openDB(dir, registrar.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	start, end := cfg.span(sf)
+	mid := start + (end-start)/2
+	rep := &StreamingReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		ScaleFactor:   sf,
+	}
+	wide := func(to int64) string {
+		return fmt.Sprintf(`SELECT D.sample_time, D.sample_value FROM dataview
+		  WHERE F.station = 'FIAM' AND D.sample_time >= '%s' AND D.sample_time < '%s'`,
+			fmtTS(start), fmtTS(to))
+	}
+	// Warm the chunk cache so the comparison measures execution, not
+	// first-touch ingestion.
+	if res, err := db.QueryContext(context.Background(), wide(end)); err != nil {
+		return nil, err
+	} else {
+		res.Release()
+	}
+	const runs = 3
+	cases := []struct{ name, sql string }{
+		// Two cardinalities of the same scan shape: streaming peak heap
+		// must stay flat while the materialized result (and its heap)
+		// doubles.
+		{"wide_scan_half_archive", wide(mid)},
+		{"wide_scan_full_archive", wide(end)},
+		// The acceptance case: first 10 rows of a full-archive scan.
+		// Streaming short-circuits the scan via sink cancellation;
+		// materialized execution scans everything, keeps 10 rows.
+		{"limit10_full_archive", wide(end) + ` LIMIT 10`},
+	}
+	for _, tc := range cases {
+		c, err := measureCase(db, tc.name, tc.sql, runs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// The sink-driven cancellation case: a client streams the full
+	// archive scan but stops after 10 rows (no LIMIT clause). The
+	// materialized side must compute the whole result before the client
+	// sees anything; the streaming side cancels the scan down to the
+	// morsel cursor after the first batch. This is the headline
+	// first-row speedup for first-N consumption of a wide scan.
+	fc := StreamingCase{Name: "first10_of_full_scan_stop", Query: wide(end) + ` /* client stops after 10 rows */`}
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		hs := startHeapSampler()
+		t0 := time.Now()
+		res, err := db.QueryContext(context.Background(), wide(end))
+		if err != nil {
+			hs.peak()
+			return nil, err
+		}
+		total, peak := time.Since(t0), hs.peak()
+		resident := res.Rel.MemSize()
+		res.Release()
+		if r == 0 || total.Microseconds() < fc.MaterializedTotalUS {
+			fc.MaterializedTotalUS = total.Microseconds()
+			fc.MaterializedHeapPeakB = peak
+			fc.MaterializedResultB = resident
+		}
+	}
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		hs := startHeapSampler()
+		sink := &ttfrSink{start: time.Now(), stopAt: 10}
+		sres, err := db.QueryStream(context.Background(), wide(end), sink)
+		if err != nil {
+			hs.peak()
+			return nil, err
+		}
+		total, peak := time.Since(sink.start), hs.peak()
+		sres.Release()
+		if r == 0 || sink.firstAt.Microseconds() < fc.StreamFirstRowUS {
+			fc.StreamFirstRowUS = sink.firstAt.Microseconds()
+			fc.StreamTotalUS = total.Microseconds()
+			fc.StreamHeapPeakB = peak
+			fc.StreamMaxBatchB = sink.maxBatch
+			fc.Rows = sink.rows
+		}
+	}
+	if fc.StreamFirstRowUS > 0 {
+		fc.FirstRowSpeedup = float64(fc.MaterializedTotalUS) / float64(fc.StreamFirstRowUS)
+	}
+	rep.Cases = append(rep.Cases, fc)
+
+	// Top-k pushdown: same database contents, one engine with the topk
+	// rule (bounded heap), one without (full sort feeding the limit).
+	dbNoTopK, err := engine.Open(dir, engine.Config{Approach: registrar.Lazy, OptDisable: "topk"})
+	if err != nil {
+		return nil, err
+	}
+	topkSQL := fmt.Sprintf(`SELECT D.sample_value, D.sample_time FROM dataview
+	  WHERE F.station = 'FIAM' AND D.sample_time >= '%s' AND D.sample_time < '%s'
+	  ORDER BY D.sample_value DESC, D.sample_time LIMIT 10`, fmtTS(start), fmtTS(end))
+	tk := TopKCase{Name: "topk_limit10_full_archive", Query: topkSQL}
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		hs := startHeapSampler()
+		t0 := time.Now()
+		res, err := db.QueryContext(context.Background(), topkSQL)
+		if err != nil {
+			hs.peak()
+			return nil, err
+		}
+		el, peak := time.Since(t0).Microseconds(), hs.peak()
+		tk.Rows = res.Rows()
+		res.Release()
+		if r == 0 || el < tk.TopKUS {
+			tk.TopKUS, tk.TopKHeapPeakB = el, peak
+		}
+
+		runtime.GC()
+		hs = startHeapSampler()
+		t0 = time.Now()
+		res, err = dbNoTopK.QueryContext(context.Background(), topkSQL)
+		if err != nil {
+			hs.peak()
+			return nil, err
+		}
+		el, peak = time.Since(t0).Microseconds(), hs.peak()
+		res.Release()
+		if r == 0 || el < tk.SortLimitUS {
+			tk.SortLimitUS, tk.SortHeapPeakB = el, peak
+		}
+	}
+	if tk.TopKUS > 0 {
+		tk.Speedup = float64(tk.SortLimitUS) / float64(tk.TopKUS)
+	}
+	rep.TopK = append(rep.TopK, tk)
+	return rep, nil
+}
+
+// WriteStreamingJSON collects the streaming report and writes it as
+// indented JSON to path.
+func WriteStreamingJSON(cfg Config, path string) error {
+	m, err := CollectStreaming(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// The CollectStreaming sinks retain nothing, so the file has no
+// exported use of physical beyond the sink contract.
+var _ physical.StreamSink = (*ttfrSink)(nil)

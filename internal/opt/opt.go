@@ -46,11 +46,12 @@ const (
 	RulePruneCols  = "prunecols"
 	RuleIndexKey   = "indexkey"
 	RuleFuse       = "fuse"
+	RuleTopK       = "topk"
 )
 
 // Rules lists every rule in pipeline order.
 func Rules() []string {
-	return []string{RuleConstFold, RulePushdown, RuleRangeInfer, RuleJoinOrder, RulePruneCols, RuleIndexKey, RuleFuse}
+	return []string{RuleConstFold, RulePushdown, RuleRangeInfer, RuleJoinOrder, RulePruneCols, RuleIndexKey, RuleFuse, RuleTopK}
 }
 
 // EnvDisable is the environment variable listing rules to disable
@@ -281,9 +282,27 @@ func Optimize(ctx *Context, p *plan.Plan, opts Options) (*plan.Plan, error) {
 		log = append(log, fmt.Sprintf("%s: %d chain(s) fused", RuleFuse, fused))
 	}
 
+	// topk: fold ORDER BY + LIMIT (a Limit directly over a Sort) into a
+	// bounded top-k selection, so the sort never materializes more than
+	// k rows — the pushdown that keeps streamed LIMIT queries at O(k)
+	// memory.
+	if !opts.Disabled(RuleTopK) {
+		if lim, ok := p.Root.(*plan.Limit); ok && lim.N > 0 && lim.N <= topKMaxN {
+			if srt, ok := lim.In.(*plan.Sort); ok {
+				p.Root = &plan.TopK{In: srt.In, Keys: srt.Keys, N: lim.N}
+				log = append(log, fmt.Sprintf("%s: fused sort+limit into top-%d", RuleTopK, lim.N))
+			}
+		}
+	}
+
 	p.RuleLog = log
 	return p, nil
 }
+
+// topKMaxN bounds the limits eligible for top-k pushdown: beyond it
+// the O(k) candidate buffers stop being "bounded" in any useful sense
+// and a full sort is no worse.
+const topKMaxN = 1 << 16
 
 // buildGraph constructs the colored query graph from the resolved plan
 // and the pushdown outcome (filtered vertices are preferred earlier by

@@ -494,3 +494,53 @@ func TestInferenceSoundness(t *testing.T) {
 		t.Fatalf("value predicate inferred %s", s.Filter)
 	}
 }
+
+// topkQuery is query2 with an ORDER BY + LIMIT tail: the shape the
+// topk rule folds into a bounded-heap operator.
+func topkQuery(limit int) *plan.Query {
+	q := query2()
+	q.OrderBy = []plan.OrderKey{{Col: "D.sample_value", Desc: true}, {Col: "D.sample_time"}}
+	q.Limit = limit
+	return q
+}
+
+func TestTopKFoldsSortLimit(t *testing.T) {
+	p := compile(t, topkQuery(10), opt.Options{})
+	tk, ok := p.Root.(*plan.TopK)
+	if !ok {
+		t.Fatalf("root = %T (%s), want *plan.TopK", p.Root, p.Root.String())
+	}
+	if tk.N != 10 || len(tk.Keys) != 2 || !tk.Keys[0].Desc || tk.Keys[1].Desc {
+		t.Fatalf("topk node keeps keys/limit wrong: %+v", tk)
+	}
+	if _, under := tk.In.(*plan.Sort); under {
+		t.Fatal("sort survived under the topk node")
+	}
+	log := strings.Join(p.RuleLog, "\n")
+	if !strings.Contains(log, opt.RuleTopK) {
+		t.Fatalf("topk rule missing from log:\n%s", log)
+	}
+}
+
+func TestTopKDisabledKeepsSortLimit(t *testing.T) {
+	p := compile(t, topkQuery(10), opt.Disable(opt.RuleTopK))
+	lim, ok := p.Root.(*plan.Limit)
+	if !ok {
+		t.Fatalf("root = %T, want *plan.Limit with topk disabled", p.Root)
+	}
+	if _, ok := lim.In.(*plan.Sort); !ok {
+		t.Fatalf("limit input = %T, want *plan.Sort", lim.In)
+	}
+	if strings.Contains(strings.Join(p.RuleLog, "\n"), opt.RuleTopK) {
+		t.Fatal("disabled topk rule present in rule log")
+	}
+}
+
+func TestTopKSkipsHugeLimits(t *testing.T) {
+	// Beyond the eligibility bound the bounded heap would cost more
+	// than the sort it replaces; the pair must survive untouched.
+	p := compile(t, topkQuery(1<<20), opt.Options{})
+	if _, ok := p.Root.(*plan.Limit); !ok {
+		t.Fatalf("root = %T, want *plan.Limit for a %d-row limit", p.Root, 1<<20)
+	}
+}

@@ -38,6 +38,9 @@ type HashJoin struct {
 	fastKey bool
 	// dop is the parallelism granted by the executor for the build.
 	dop int
+	// quota meters the materialized build side against the per-query
+	// memory ceiling.
+	quota *storage.Quota
 
 	built     bool
 	buildData *storage.Batch
@@ -144,6 +147,10 @@ func putIntJoinTable(t *intJoinTable) {
 // to dop workers. It must be called before the first Next or Split.
 func (j *HashJoin) SetParallel(dop int) { j.dop = dop }
 
+// SetQuota implements QuotaHinter: the materialized build side is
+// charged against the per-query memory ceiling.
+func (j *HashJoin) SetQuota(q *storage.Quota) { j.quota = q }
+
 // NewHashJoin joins left and right on pairwise-equal key columns given
 // as column positions.
 func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, error) {
@@ -188,7 +195,7 @@ func (j *HashJoin) Kinds() []storage.Kind { return j.kinds }
 const parallelBuildMin = 1 << 13
 
 func (j *HashJoin) build() error {
-	rel, err := ParallelDrain(j.left, j.dop, nil)
+	rel, err := DrainWith(j.left, DrainOpts{DOP: j.dop, Quota: j.quota})
 	if err != nil {
 		return err
 	}

@@ -62,21 +62,37 @@ func RunPooled(op Operator) (*storage.Relation, error) {
 // each pull and aborts the drain when it errors — the executor passes
 // its context's Err for cancellation between batches.
 func Drain(op Operator, check func() error) (*storage.Relation, error) {
-	return drainInto(op, check, NewOutputRelation(op), false)
+	return drainInto(op, check, NewOutputRelation(op), false, nil)
 }
 
 // DrainPooled is Drain with the coalesced output drawn from the
 // batch-memory pool; the caller owns the relation and Releases it.
 func DrainPooled(op Operator, check func() error) (*storage.Relation, error) {
-	return drainInto(op, check, NewOutputRelation(op), true)
+	return drainInto(op, check, NewOutputRelation(op), true, nil)
 }
 
-func drainInto(op Operator, check func() error, out *storage.Relation, pooled bool) (*storage.Relation, error) {
+func drainInto(op Operator, check func() error, out *storage.Relation, pooled bool, quota *storage.Quota) (*storage.Relation, error) {
 	var coal *storage.Coalescer
 	if pooled {
 		coal = storage.NewPooledCoalescer(op.Kinds())
 	} else {
 		coal = storage.NewCoalescer(op.Kinds())
+	}
+	// Every batch that lands in out is charged against the per-query
+	// memory ceiling as it arrives; charged tracks the prefix already
+	// counted, so coalescer flushes are charged exactly once.
+	charged := 0
+	chargeNew := func() error {
+		if quota == nil {
+			return nil
+		}
+		bs := out.Batches()
+		for ; charged < len(bs); charged++ {
+			if err := quota.Charge(bs[charged].MemSize()); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for {
 		if check != nil {
@@ -98,14 +114,26 @@ func drainInto(op Operator, check func() error, out *storage.Relation, pooled bo
 		}
 		if b == nil {
 			coal.Flush(out)
+			if err := chargeNew(); err != nil {
+				if pooled {
+					out.Release()
+				}
+				return nil, err
+			}
 			return out, nil
 		}
 		if coal.Eligible(b) {
 			coal.Add(out, b)
-			continue
+		} else {
+			coal.Flush(out)
+			out.Append(b)
 		}
-		coal.Flush(out)
-		out.Append(b)
+		if err := chargeNew(); err != nil {
+			if pooled {
+				out.Release()
+			}
+			return nil, err
+		}
 	}
 }
 

@@ -51,38 +51,64 @@ type ParallelHinter interface {
 	SetParallel(dop int)
 }
 
+// QuotaHinter is implemented by operators that materialize an input
+// internally (sort input, top-k buffers, join build side) and charge
+// that materialization against the per-query memory ceiling. SetQuota
+// must be called before the first Next; a nil quota means unlimited.
+type QuotaHinter interface {
+	SetQuota(q *storage.Quota)
+}
+
 // ParallelDrain drains op to completion with up to dop workers when the
 // operator can split its work, falling back to the serial Drain
 // otherwise. The result holds the same rows in the same order as the
 // serial drain. check (may be nil) is consulted between batches on
 // every worker, as in Drain.
 func ParallelDrain(op Operator, dop int, check func() error) (*storage.Relation, error) {
-	return parallelDrain(op, dop, check, false)
+	return DrainWith(op, DrainOpts{DOP: dop, Check: check})
 }
 
 // ParallelDrainPooled is ParallelDrain with pooled coalescer output and
 // pooled per-range relation headers; the caller owns (and Releases) the
 // returned relation.
 func ParallelDrainPooled(op Operator, dop int, check func() error) (*storage.Relation, error) {
-	return parallelDrain(op, dop, check, true)
+	return DrainWith(op, DrainOpts{DOP: dop, Check: check, Pooled: true})
 }
 
-func parallelDrain(op Operator, dop int, check func() error, pooled bool) (*storage.Relation, error) {
-	if dop > 1 {
+// DrainOpts configures DrainWith; the zero value is a serial,
+// unpooled, unchecked, unmetered drain.
+type DrainOpts struct {
+	// DOP grants the drain up to this many workers when the operator
+	// can split its work.
+	DOP int
+	// Check runs before every pull and aborts the drain when it errors.
+	Check func() error
+	// Pooled draws coalesced output (and per-range relation headers)
+	// from the batch pool; the caller owns and Releases the result.
+	Pooled bool
+	// Quota, when non-nil, is charged for every batch materialized into
+	// the output — the per-query memory ceiling.
+	Quota *storage.Quota
+}
+
+// DrainWith drains op to completion into a relation under the given
+// options; the general form behind Drain/DrainPooled/ParallelDrain.
+func DrainWith(op Operator, o DrainOpts) (*storage.Relation, error) {
+	if o.DOP > 1 {
 		if sp, ok := op.(Splitter); ok {
-			parts, err := sp.Split(dop * morselFanout)
+			parts, err := sp.Split(o.DOP * morselFanout)
 			if err != nil {
 				return nil, err
 			}
 			if len(parts) > 1 {
-				return drainParts(parts, dop, check, pooled)
+				return drainParts(parts, o.DOP, o.Check, o.Pooled, o.Quota)
 			}
 			if len(parts) == 1 {
-				return drainInto(parts[0], check, NewOutputRelation(parts[0]), pooled)
+				return drainInto(parts[0], o.Check, NewOutputRelation(parts[0]), o.Pooled, o.Quota)
 			}
 		}
 	}
-	return drainInto(op, check, NewOutputRelation(op), pooled)
+	return drainInto(op, o.Check, NewOutputRelation(op), o.Pooled, o.Quota)
 }
 
 // runParts invokes run for every part index in [0, n), claimed off a
@@ -136,7 +162,7 @@ func runParts(n, dop int, run func(i int) error) error {
 // per-range relation headers come from (and return to) the relation
 // pool; their batches transfer wholesale to the reassembled output,
 // which alone owns them afterwards.
-func drainParts(parts []Operator, dop int, check func() error, pooled bool) (*storage.Relation, error) {
+func drainParts(parts []Operator, dop int, check func() error, pooled bool, quota *storage.Quota) (*storage.Relation, error) {
 	outs := make([]*storage.Relation, len(parts))
 	err := runParts(len(parts), dop, func(i int) error {
 		var rel *storage.Relation
@@ -145,7 +171,7 @@ func drainParts(parts []Operator, dop int, check func() error, pooled bool) (*st
 		} else {
 			rel = NewOutputRelation(parts[i])
 		}
-		rel, err := drainInto(parts[i], check, rel, pooled)
+		rel, err := drainInto(parts[i], check, rel, pooled, quota)
 		if err == nil {
 			outs[i] = rel
 		}

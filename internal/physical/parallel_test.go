@@ -147,9 +147,12 @@ func TestParallelJoin(t *testing.T) {
 					t.Fatal(err)
 				}
 				sameRelation(t, got, want, "parallel join")
+				got.Release()
 			}
+			want.Release()
 		}
 	}
+	storage.RequireNoLeaks(t)
 }
 
 // TestParallelPartitionedBuild pushes the build side over the
@@ -208,7 +211,10 @@ func TestParallelPartitionedBuild(t *testing.T) {
 			t.Fatalf("dop %d: expected a partitioned build", dop)
 		}
 		sameRelation(t, got, want, "partitioned build")
+		got.Release()
 	}
+	want.Release()
+	storage.RequireNoLeaks(t)
 }
 
 // TestParallelAggregate requires grouped aggregation to be bitwise

@@ -18,15 +18,20 @@ type SortKey struct {
 // parallel morsel pipeline; the sort itself then imposes the total
 // order, so the result is unaffected by the drain's batch boundaries.
 type Sort struct {
-	in   Operator
-	keys []SortKey
-	dop  int
-	done bool
+	in    Operator
+	keys  []SortKey
+	dop   int
+	quota *storage.Quota
+	done  bool
 }
 
 // SetParallel implements ParallelHinter: it grants the input drain up
 // to dop workers. It must be called before the first Next.
 func (s *Sort) SetParallel(dop int) { s.dop = dop }
+
+// SetQuota implements QuotaHinter: the materialized input is charged
+// against the per-query memory ceiling.
+func (s *Sort) SetQuota(q *storage.Quota) { s.quota = q }
 
 // NewSort validates the key positions.
 func NewSort(in Operator, keys []SortKey) (*Sort, error) {
@@ -55,7 +60,7 @@ func (s *Sort) Next() (*storage.Batch, error) {
 		return nil, nil
 	}
 	s.done = true
-	rel, err := ParallelDrain(s.in, s.dop, nil)
+	rel, err := DrainWith(s.in, DrainOpts{DOP: s.dop, Quota: s.quota})
 	if err != nil {
 		return nil, err
 	}

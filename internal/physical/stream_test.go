@@ -1,0 +1,190 @@
+package physical
+
+// Differential tests for the streaming drain: StreamWith must deliver
+// exactly the rows Drain materializes, in the same order, at every
+// degree of parallelism and with pooling on or off; a sink stop must
+// end the query early without error and without leaking a single
+// pooled batch; a sink failure must abort with that error, equally
+// leak-free.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sommelier/internal/expr"
+	"sommelier/internal/storage"
+)
+
+var streamDOPs = []int{1, 2, 4, 8}
+
+// stopAfterSink collects rows until a limit, then stops the stream:
+// the LIMIT-style consumer.
+type stopAfterSink struct {
+	rel   *storage.Relation
+	limit int
+}
+
+func (s *stopAfterSink) Push(b *storage.Batch) error {
+	if s.rel == nil {
+		s.rel = storage.NewRelation()
+	}
+	s.rel.Append(b)
+	if s.rel.Rows() >= s.limit {
+		return ErrStopStream
+	}
+	return nil
+}
+
+// failAfterSink recycles batches until a limit, then fails the stream.
+type failAfterSink struct {
+	rows int
+	fail error
+}
+
+func (s *failAfterSink) Push(b *storage.Batch) error {
+	s.rows += b.Len()
+	storage.PutBatch(b)
+	if s.rows > 256 {
+		return s.fail
+	}
+	return nil
+}
+
+// streamChain builds the scan → filter → project chain used across
+// these tests.
+func streamChain(t *testing.T, rel *storage.Relation, names []string, kinds []storage.Kind, pred expr.Expr) Operator {
+	t.Helper()
+	s, err := NewRelScan(rel, names, kinds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(s, expr.NewCmp(expr.LT, expr.Col("D.val"), expr.Float(120)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProject(f, []string{"id2", "v"}, []expr.Expr{
+		expr.NewArith(expr.Add, expr.Col("D.id"), expr.Int(1)),
+		expr.Col("D.val"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStreamMatchesDrain is the core differential: the streamed rows
+// equal the materialized rows, row for row, in order.
+func TestStreamMatchesDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	rel, names, kinds := diffRel(rng, 24, 256)
+	empty := storage.NewRelation()
+	for _, r := range []*storage.Relation{rel, empty} {
+		for _, pred := range diffPreds(rng) {
+			want, err := Run(streamChain(t, r, names, kinds, pred))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, dop := range streamDOPs {
+				for _, pooled := range []bool{false, true} {
+					sink := &CollectSink{}
+					err := StreamWith(streamChain(t, r, names, kinds, pred), sink,
+						StreamOpts{DOP: dop, Pooled: pooled})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := sink.Rel
+					if got == nil {
+						got = storage.NewRelation()
+					}
+					sameRelation(t, got, want, pred.String()+" (stream)")
+					got.Release()
+					storage.RequireNoLeaks(t)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEarlyStop stops the stream after a handful of rows: the
+// delivered rows must be a prefix of the serial result (sink-driven
+// cancellation keeps in-order delivery), the call must report success,
+// and nothing pooled may leak — including the morsel ranges the stop
+// prevented from ever being scanned.
+func TestStreamEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	rel, names, kinds := diffRel(rng, 32, 256)
+	pred := expr.NewCmp(expr.GT, expr.Col("D.val"), expr.Float(0))
+	want, err := Run(streamChain(t, rel, names, kinds, pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dop := range streamDOPs {
+		for _, pooled := range []bool{false, true} {
+			sink := &stopAfterSink{limit: 10}
+			err := StreamWith(streamChain(t, rel, names, kinds, pred), sink,
+				StreamOpts{DOP: dop, Pooled: pooled})
+			if err != nil {
+				t.Fatalf("dop %d pooled %v: %v", dop, pooled, err)
+			}
+			got := sink.rel
+			if got.Rows() < 10 {
+				t.Fatalf("dop %d: stopped after %d rows, want >= 10", dop, got.Rows())
+			}
+			// Prefix check: the delivered rows are the first rows of the
+			// serial result.
+			g, w := got.Flatten(), want.Flatten()
+			for c := 0; c < w.Width(); c++ {
+				for r := 0; r < g.Len(); r++ {
+					if storage.ValueAt(g.Cols[c], r) != storage.ValueAt(w.Cols[c], r) {
+						t.Fatalf("dop %d: cell (%d,%d) = %v, want %v", dop,
+							r, c, storage.ValueAt(g.Cols[c], r), storage.ValueAt(w.Cols[c], r))
+					}
+				}
+			}
+			got.Release()
+			storage.RequireNoLeaks(t)
+		}
+	}
+}
+
+// TestStreamPushError aborts the stream with a sink failure: the error
+// must surface and the undelivered run-ahead buffers must all be
+// recycled.
+func TestStreamPushError(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rel, names, kinds := diffRel(rng, 32, 256)
+	pred := expr.NewCmp(expr.GE, expr.Col("D.id"), expr.Int(0)) // all pass
+	boom := errors.New("client hung up")
+	for _, dop := range streamDOPs {
+		for _, pooled := range []bool{false, true} {
+			sink := &failAfterSink{fail: boom}
+			err := StreamWith(streamChain(t, rel, names, kinds, pred), sink,
+				StreamOpts{DOP: dop, Pooled: pooled})
+			if !errors.Is(err, boom) {
+				t.Fatalf("dop %d pooled %v: err = %v, want %v", dop, pooled, err, boom)
+			}
+			storage.RequireNoLeaks(t)
+		}
+	}
+}
+
+// TestStreamQuota runs a parallel stream under a ceiling far below the
+// result size: the run-ahead buffering must trip the quota with a
+// typed error and recycle everything it had buffered.
+func TestStreamQuota(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	rel, names, kinds := diffRel(rng, 32, 512)
+	pred := expr.NewCmp(expr.GE, expr.Col("D.id"), expr.Int(0)) // all pass
+	sink := &CollectSink{}
+	err := StreamWith(streamChain(t, rel, names, kinds, pred), sink,
+		StreamOpts{DOP: 4, Pooled: true, Quota: storage.NewQuota(1)})
+	var qe *storage.QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want a *storage.QuotaError", err)
+	}
+	if sink.Rel != nil {
+		sink.Rel.Release()
+	}
+	storage.RequireNoLeaks(t)
+}

@@ -1,0 +1,275 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/storage"
+)
+
+// TopK emits the first n rows of its input under the sort keys: the
+// fused execution of ORDER BY + LIMIT produced by the topk optimizer
+// rule. Unlike Sort (which materializes the whole input before
+// ordering it), TopK keeps a bounded candidate buffer of at most
+// ~2n rows per morsel range: each incoming batch is filtered against
+// the current n-th best row, survivors are copied into the buffer, and
+// the buffer is compacted back to n rows by a stable partial sort
+// whenever it doubles. The result is row-for-row identical — including
+// the order of key ties — to Sort followed by Limit, at O(n) memory
+// instead of O(input).
+type TopK struct {
+	in   Operator
+	keys []SortKey
+	n    int
+	dop  int
+	done bool
+}
+
+// NewTopK validates the key positions, as NewSort does.
+func NewTopK(in Operator, keys []SortKey, n int) (*TopK, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("physical: negative top-k limit %d", n)
+	}
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(in.Names()) {
+			return nil, fmt.Errorf("physical: top-k key %d out of range", k.Col)
+		}
+		switch in.Kinds()[k.Col] {
+		case storage.KindInt64, storage.KindTime, storage.KindFloat64, storage.KindString:
+		default:
+			return nil, fmt.Errorf("physical: cannot order on %v", in.Kinds()[k.Col])
+		}
+	}
+	return &TopK{in: in, keys: keys, n: n}, nil
+}
+
+// SetParallel implements ParallelHinter: morsel ranges of a splittable
+// input are folded into per-range candidate buffers by up to dop
+// workers, merged in range order.
+func (t *TopK) SetParallel(dop int) { t.dop = dop }
+
+// Names implements Operator.
+func (t *TopK) Names() []string { return t.in.Names() }
+
+// Kinds implements Operator.
+func (t *TopK) Kinds() []storage.Kind { return t.in.Kinds() }
+
+// BatchHint implements BatchHinter.
+func (t *TopK) BatchHint() int { return 1 }
+
+// Next implements Operator.
+func (t *TopK) Next() (*storage.Batch, error) {
+	if t.done {
+		return nil, nil
+	}
+	t.done = true
+	if t.n == 0 {
+		return nil, nil
+	}
+	var parts []Operator
+	if t.dop > 1 {
+		if sp, ok := t.in.(Splitter); ok {
+			var err error
+			parts, err = sp.Split(t.dop * morselFanout)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(parts) == 0 {
+		parts = []Operator{t.in}
+	}
+	accs := make([]*topkAcc, len(parts))
+	err := runParts(len(parts), t.dop, func(i int) error {
+		acc := newTopkAcc(t.keys, t.n)
+		if err := acc.feed(parts[i]); err != nil {
+			return err
+		}
+		accs[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge the per-range winners in range order: ranges partition the
+	// input in serial order, and the stable compaction sort keeps
+	// earlier rows first among key ties, so the merged result carries
+	// exactly the ties Sort+Limit would keep, in the same order.
+	merged := newTopkAcc(t.keys, t.n)
+	for _, acc := range accs {
+		if b := acc.result(); b != nil {
+			merged.appendCandidates(b)
+		}
+	}
+	merged.compact()
+	out := merged.result()
+	if out == nil || out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// topkAcc is one bounded candidate buffer: rows that may still be
+// among the first k under the keys. Candidates are stored as unpooled
+// copies (the O(k) working set of the operator), so incoming pooled
+// batches are recycled immediately after filtering.
+type topkAcc struct {
+	keys []SortKey
+	k    int
+	buf  *storage.Relation
+	// thresh is the current k-th best row — row threshRow of the last
+	// compacted batch — once at least k candidates have been seen. A
+	// later row can only displace it with strictly smaller keys (any
+	// tie loses to the earlier arrival), so batches are pre-filtered
+	// against it.
+	thresh    *storage.Batch
+	threshRow int
+	// scratch is the reusable survivor-index buffer of add.
+	scratch []int32
+}
+
+func newTopkAcc(keys []SortKey, k int) *topkAcc {
+	return &topkAcc{keys: keys, k: k, buf: storage.NewRelation()}
+}
+
+// compactAt is the buffer size that triggers compaction, relative to
+// k: the usual doubling trade between sort frequency and memory.
+func (a *topkAcc) compactAt() int {
+	at := 2 * a.k
+	if at < storage.BatchSize {
+		at = storage.BatchSize
+	}
+	return at
+}
+
+// feed consumes op to exhaustion.
+func (a *topkAcc) feed(op Operator) error {
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			a.compact()
+			return nil
+		}
+		a.add(b)
+	}
+}
+
+// add filters one input batch against the threshold, copies the
+// surviving rows into the buffer, and recycles the input.
+func (a *topkAcc) add(b *storage.Batch) {
+	base, sel := b.DetachSel()
+	n := base.Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	idx := a.scratch[:0]
+	for i := 0; i < n; i++ {
+		r := i
+		if sel != nil {
+			r = int(sel[i])
+		}
+		if a.thresh != nil && a.cmpRows(base, r, a.thresh, a.threshRow) >= 0 {
+			continue
+		}
+		idx = append(idx, int32(r))
+	}
+	a.scratch = idx[:0]
+	if len(idx) > 0 {
+		a.buf.Append(base.Gather(idx))
+	}
+	storage.PutSel(sel)
+	storage.PutBatch(base)
+	if a.buf.Rows() >= a.compactAt() {
+		a.compact()
+	}
+}
+
+// appendCandidates adds already-copied rows (a finished accumulator's
+// result) without filtering; the merge path.
+func (a *topkAcc) appendCandidates(b *storage.Batch) {
+	a.buf.Append(b)
+}
+
+// compact sorts the buffer stably by the keys and keeps the first k
+// rows. Stability carries the arrival order of key ties through every
+// compaction: the buffer is always a key-sorted sequence whose ties
+// are in arrival order, and newly appended rows arrive later than
+// everything already buffered, so repeated stable sorts preserve the
+// global first-k-ties-win semantics of Sort+Limit.
+func (a *topkAcc) compact() {
+	if a.buf.Rows() == 0 {
+		return
+	}
+	flat := a.buf.Flatten()
+	idx := make([]int32, flat.Len())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		for _, k := range a.keys {
+			c := cmpAt(flat.Cols[k.Col], int(idx[x]), int(idx[y]))
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if len(idx) > a.k {
+		idx = idx[:a.k]
+	}
+	top := flat.Gather(idx)
+	a.buf = storage.NewRelation()
+	a.buf.Append(top)
+	if top.Len() >= a.k {
+		a.thresh, a.threshRow = top, a.k-1
+	}
+}
+
+// result returns the compacted candidates (at most k rows, ordered),
+// nil when empty. Valid only after feed/compact.
+func (a *topkAcc) result() *storage.Batch {
+	if a.buf.Rows() == 0 {
+		return nil
+	}
+	return a.buf.Batches()[0]
+}
+
+// cmpRows orders row ra of a against row rb of b under the keys,
+// ascending/descending applied per key: <0 when the a-row sorts first.
+func (a *topkAcc) cmpRows(ba *storage.Batch, ra int, bb *storage.Batch, rb int) int {
+	for _, k := range a.keys {
+		c := cmpColsAt(ba.Cols[k.Col], ra, bb.Cols[k.Col], rb)
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// cmpColsAt compares position ai of column a with position bi of
+// column b; the two columns hold the same kind (same output schema).
+func cmpColsAt(a storage.Column, ai int, b storage.Column, bi int) int {
+	switch ac := a.(type) {
+	case *storage.Int64Column:
+		return cmpOrd(ac.Value(ai), b.(*storage.Int64Column).Value(bi))
+	case *storage.TimeColumn:
+		return cmpOrd(ac.Value(ai), b.(*storage.TimeColumn).Value(bi))
+	case *storage.Float64Column:
+		return cmpOrd(ac.Value(ai), b.(*storage.Float64Column).Value(bi))
+	case *storage.StringColumn:
+		return cmpOrd(ac.Value(ai), b.(*storage.StringColumn).Value(bi))
+	default:
+		panic(fmt.Sprintf("physical: cmpColsAt on %T", a))
+	}
+}

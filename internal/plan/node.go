@@ -431,6 +431,28 @@ func (s *Sort) Children() []Node { return []Node{s.In} }
 // String implements Node.
 func (s *Sort) String() string { return fmt.Sprintf("sort(%v)", s.Keys) }
 
+// TopK keeps the first N rows of the input ordered by Keys: the fusion
+// of Sort+Limit the topk optimizer rule produces, executed as a
+// bounded-memory selection so the sort never materializes more than
+// O(N) rows.
+type TopK struct {
+	In   Node
+	Keys []OrderKey
+	N    int
+}
+
+// Names implements Node.
+func (t *TopK) Names() []string { return t.In.Names() }
+
+// Kinds implements Node.
+func (t *TopK) Kinds() []storage.Kind { return t.In.Kinds() }
+
+// Children implements Node.
+func (t *TopK) Children() []Node { return []Node{t.In} }
+
+// String implements Node.
+func (t *TopK) String() string { return fmt.Sprintf("topk(%v, %d)", t.Keys, t.N) }
+
 // Limit keeps the first N rows.
 type Limit struct {
 	In Node

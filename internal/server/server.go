@@ -13,6 +13,13 @@
 // the "params" array, and `EXPLAIN <query>` returns the optimized plan
 // with the applied-rule log as rows.
 //
+// Setting "stream": true in the request switches to incremental
+// delivery: result batches are encoded and flushed as the executor
+// produces them (newline-delimited JSON by default, or the binary
+// columnar format with "format": "columnar"), so the first row
+// reaches the client while the scan is still running and the server
+// never holds the full result. See stream.go and wire.go.
+//
 // The worker pool is the admission controller: requests queue up to
 // QueueDepth jobs and are rejected with 503 beyond that, so overload
 // degrades crisply instead of collapsing the engine. Each request
@@ -81,6 +88,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	rejected  atomic.Int64
+	streamed  atomic.Int64
 	inFlight  atomic.Int64
 	closed    atomic.Bool
 }
@@ -89,6 +97,10 @@ type job struct {
 	ctx    context.Context
 	sql    string
 	params []any
+	// stream, when set, runs the whole request on the worker (streaming
+	// responses write to the client incrementally, so the work cannot be
+	// handed back over a channel); sql/params are unused.
+	stream func()
 	resp   chan jobResult
 }
 
@@ -138,6 +150,12 @@ func (s *Server) worker() {
 			continue
 		}
 		s.inFlight.Add(1)
+		if j.stream != nil {
+			j.stream()
+			s.inFlight.Add(-1)
+			j.resp <- jobResult{}
+			continue
+		}
 		res, err := s.db.QueryArgsContext(j.ctx, j.sql, j.params...)
 		s.inFlight.Add(-1)
 		j.resp <- jobResult{res: res, err: err}
@@ -153,6 +171,14 @@ type QueryRequest struct {
 	// TimeoutMS overrides the server's default per-request timeout,
 	// capped by the configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stream requests incremental delivery: batches are flushed as they
+	// are produced instead of one materialized response body. Implied
+	// by Format "columnar".
+	Stream bool `json:"stream,omitempty"`
+	// Format selects the streaming wire format: "json" (the default,
+	// newline-delimited JSON) or "columnar" (the binary columnar format
+	// of wire.go, which implies Stream).
+	Format string `json:"format,omitempty"`
 }
 
 // QueryStats mirrors the executor's per-query statistics.
@@ -234,7 +260,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			req.Params[i] = int64(f)
 		}
 	}
+	switch req.Format {
+	case "", FormatNDJSON, FormatColumnar:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown format %q", req.Format)})
+		return
+	}
 	j := &job{ctx: ctx, sql: req.SQL, params: req.Params, resp: make(chan jobResult, 1)}
+	if req.Stream || req.Format == FormatColumnar {
+		// Streaming requests run entirely on the worker goroutine; this
+		// handler parks until the response is fully written (or until
+		// the job dies in the queue).
+		s.streamed.Add(1)
+		j.stream = func() { s.streamQuery(ctx, w, req) }
+	}
 	select {
 	case s.jobs <- j:
 	default:
@@ -249,6 +288,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, errorStatus(out.err), errorBody(out.err))
 		return
 	}
+	if j.stream != nil {
+		// streamQuery wrote the response and settled the counters.
+		return
+	}
 	s.completed.Add(1)
 	writeJSON(w, http.StatusOK, toResponse(out.res, time.Since(t0)))
 }
@@ -259,11 +302,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // server-side failure (500), so retry and alerting logic can tell the
 // two apart.
 func errorStatus(err error) int {
+	var qe *storage.QuotaError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
+	case errors.As(err, &qe):
+		// The query tripped the per-query memory ceiling
+		// (engine.Config.MaxQueryBytes): the result is too large to
+		// materialize, which a streaming request might still manage.
+		return http.StatusRequestEntityTooLarge
 	}
 	msg := err.Error()
 	if strings.HasPrefix(msg, "sql:") || strings.HasPrefix(msg, "plan:") ||
@@ -288,32 +337,41 @@ func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
 		rows[ri] = row
 	}
 	res.Release()
-	st := res.Stats
 	return QueryResponse{
 		Columns:  res.Names,
 		Rows:     rows,
 		RowCount: flat.Len(),
-		Stats: QueryStats{
-			QueryType:      res.QueryType,
-			ElapsedUS:      elapsed.Microseconds(),
-			Stage1US:       st.Stage1.Microseconds(),
-			LoadUS:         st.Load.Microseconds(),
-			Stage2US:       st.Stage2.Microseconds(),
-			ChunksSelected: st.ChunksSelected,
-			ChunksLoaded:   st.ChunksLoaded,
-			CacheHits:      st.CacheHits,
-			RowsLoaded:     st.RowsLoaded,
-			SampleFraction: st.SampleFraction,
-			DMdComputed:    res.DMd.Computed,
-			CompileUS:      res.Compile.Microseconds(),
-			PlanCacheHit:   res.PlanCacheHit,
-		},
+		Stats:    toStats(res, elapsed),
 	}
 }
 
+// toStats converts the engine's per-query statistics to the wire
+// shape; shared by the materialized response and the streaming footer.
+func toStats(res *engine.Result, elapsed time.Duration) QueryStats {
+	st := res.Stats
+	return QueryStats{
+		QueryType:      res.QueryType,
+		ElapsedUS:      elapsed.Microseconds(),
+		Stage1US:       st.Stage1.Microseconds(),
+		LoadUS:         st.Load.Microseconds(),
+		Stage2US:       st.Stage2.Microseconds(),
+		ChunksSelected: st.ChunksSelected,
+		ChunksLoaded:   st.ChunksLoaded,
+		CacheHits:      st.CacheHits,
+		RowsLoaded:     st.RowsLoaded,
+		SampleFraction: st.SampleFraction,
+		DMdComputed:    res.DMd.Computed,
+		CompileUS:      res.Compile.Microseconds(),
+		PlanCacheHit:   res.PlanCacheHit,
+	}
+}
+
+// timeLayout renders time columns in both wire formats.
+const timeLayout = "2006-01-02T15:04:05.000"
+
 func jsonValue(c storage.Column, r int) any {
 	if tc, ok := c.(*storage.TimeColumn); ok {
-		return time.Unix(0, tc.Value(r)).UTC().Format("2006-01-02T15:04:05.000")
+		return time.Unix(0, tc.Value(r)).UTC().Format(timeLayout)
 	}
 	v := storage.ValueAt(c, r)
 	// JSON has no NaN/Inf (an AVG over zero rows is NaN); encode null
@@ -336,6 +394,7 @@ type StatsResponse struct {
 	Completed  int64  `json:"completed"`
 	Failed     int64  `json:"failed"`
 	Rejected   int64  `json:"rejected"`
+	Streamed   int64  `json:"streamed"`
 	Cache      struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
@@ -368,6 +427,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Completed = s.completed.Load()
 	resp.Failed = s.failed.Load()
 	resp.Rejected = s.rejected.Load()
+	resp.Streamed = s.streamed.Load()
 	cs := s.db.CacheStats()
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses

@@ -1,0 +1,412 @@
+// Binary columnar wire format for streaming query results: the
+// compact alternative to NDJSON when the client is a program, not a
+// person. The stream is column-major per batch, so a client decoding
+// into columnar buffers never transposes, and numeric data is varint-
+// packed instead of ASCII.
+//
+// Layout (all integers little-endian; uvarint/varint per encoding/binary):
+//
+//	header   "SOMW" magic, 1 version byte,
+//	         uvarint ncols, per column: uvarint name length + name bytes,
+//	         1 kind byte (wireKind)
+//	records  'B'  uvarint nrows, then per column, column-major:
+//	              int64/time  zigzag varints
+//	              float64     8-byte LE IEEE-754 bits
+//	              bool        1 byte each
+//	              string      uvarint length + bytes
+//	         'F'  uvarint length + JSON footer {"row_count", "stats"};
+//	              terminal on success
+//	         'E'  uvarint length + error message; terminal on failure
+//
+// A well-formed stream is header, zero or more 'B' records, then
+// exactly one 'F' or 'E'. A truncated stream (no terminal record)
+// means the connection died mid-query.
+
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"sommelier/internal/storage"
+)
+
+// wireMagic opens every columnar stream.
+var wireMagic = [4]byte{'S', 'O', 'M', 'W'}
+
+// wireVersion is bumped on any layout change.
+const wireVersion = 1
+
+// wireKind is the on-wire column type byte: an explicit mapping, so the
+// format does not shift if the internal storage.Kind enum is reordered.
+const (
+	wireInt64 byte = iota
+	wireFloat64
+	wireBool
+	wireString
+	wireTime
+)
+
+func toWireKind(k storage.Kind) (byte, error) {
+	switch k {
+	case storage.KindInt64:
+		return wireInt64, nil
+	case storage.KindFloat64:
+		return wireFloat64, nil
+	case storage.KindBool:
+		return wireBool, nil
+	case storage.KindString:
+		return wireString, nil
+	case storage.KindTime:
+		return wireTime, nil
+	}
+	return 0, fmt.Errorf("server: no wire encoding for column kind %v", k)
+}
+
+func fromWireKind(b byte) (storage.Kind, error) {
+	switch b {
+	case wireInt64:
+		return storage.KindInt64, nil
+	case wireFloat64:
+		return storage.KindFloat64, nil
+	case wireBool:
+		return storage.KindBool, nil
+	case wireString:
+		return storage.KindString, nil
+	case wireTime:
+		return storage.KindTime, nil
+	}
+	return storage.KindInvalid, fmt.Errorf("server: unknown wire kind byte %d", b)
+}
+
+// columnarSink encodes a query stream into the binary columnar format.
+// It is a physical.SchemaSink: the header is written from SetSchema's
+// schema on the first output, so zero-row results still carry their
+// column list. Writes are buffered and flushed once per pushed batch —
+// the flush is the backpressure point: a slow client blocks the flush,
+// which blocks Push, which suspends the morsel cursor upstream.
+type columnarSink struct {
+	hw      http.ResponseWriter // nil when wrapping a plain io.Writer
+	fl      http.Flusher
+	bw      *bufio.Writer
+	names   []string
+	kinds   []storage.Kind
+	begun   bool
+	rows    int
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func newColumnarSink(w http.ResponseWriter) *columnarSink {
+	s := &columnarSink{hw: w, bw: bufio.NewWriter(w)}
+	s.fl, _ = w.(http.Flusher)
+	return s
+}
+
+// SetSchema implements physical.SchemaSink.
+func (s *columnarSink) SetSchema(names []string, kinds []storage.Kind) {
+	s.names, s.kinds = names, kinds
+}
+
+func (s *columnarSink) started() bool { return s.begun }
+func (s *columnarSink) rowCount() int { return s.rows }
+
+// begin writes the HTTP status and the stream header on first output.
+func (s *columnarSink) begin() error {
+	if s.begun {
+		return nil
+	}
+	s.begun = true
+	if s.hw != nil {
+		s.hw.Header().Set("Content-Type", "application/x-sommelier-columnar")
+		s.hw.WriteHeader(http.StatusOK)
+	}
+	if _, err := s.bw.Write(wireMagic[:]); err != nil {
+		return err
+	}
+	if err := s.bw.WriteByte(wireVersion); err != nil {
+		return err
+	}
+	s.putUvarint(uint64(len(s.names)))
+	for i, n := range s.names {
+		s.putUvarint(uint64(len(n)))
+		if _, err := s.bw.WriteString(n); err != nil {
+			return err
+		}
+		wk, err := toWireKind(s.kinds[i])
+		if err != nil {
+			return err
+		}
+		if err := s.bw.WriteByte(wk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *columnarSink) putUvarint(v uint64) {
+	n := binary.PutUvarint(s.scratch[:], v)
+	s.bw.Write(s.scratch[:n])
+}
+
+func (s *columnarSink) putVarint(v int64) {
+	n := binary.PutVarint(s.scratch[:], v)
+	s.bw.Write(s.scratch[:n])
+}
+
+// Push implements engine.StreamSink: encode one 'B' record and flush.
+func (s *columnarSink) Push(b *storage.Batch) error {
+	flat := b.Materialize()
+	defer storage.PutBatch(flat)
+	if err := s.begin(); err != nil {
+		return err
+	}
+	n := flat.Len()
+	s.rows += n
+	s.bw.WriteByte('B')
+	s.putUvarint(uint64(n))
+	for _, c := range flat.Cols {
+		switch tc := c.(type) {
+		case *storage.Int64Column:
+			for i := 0; i < n; i++ {
+				s.putVarint(tc.Value(i))
+			}
+		case *storage.TimeColumn:
+			for i := 0; i < n; i++ {
+				s.putVarint(tc.Value(i))
+			}
+		case *storage.Float64Column:
+			var buf [8]byte
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tc.Value(i)))
+				s.bw.Write(buf[:])
+			}
+		case *storage.BoolColumn:
+			for i := 0; i < n; i++ {
+				v := byte(0)
+				if tc.Value(i) {
+					v = 1
+				}
+				s.bw.WriteByte(v)
+			}
+		case *storage.StringColumn:
+			for i := 0; i < n; i++ {
+				v := tc.Value(i)
+				s.putUvarint(uint64(len(v)))
+				s.bw.WriteString(v)
+			}
+		default:
+			return fmt.Errorf("server: no wire encoding for %T", c)
+		}
+	}
+	return s.flush()
+}
+
+func (s *columnarSink) flush() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+	return nil
+}
+
+// columnarFooter is the 'F' record payload.
+type columnarFooter struct {
+	RowCount int        `json:"row_count"`
+	Stats    QueryStats `json:"stats"`
+}
+
+// finish writes the terminal 'F' record.
+func (s *columnarSink) finish(stats QueryStats) {
+	if err := s.begin(); err != nil {
+		return
+	}
+	payload, err := json.Marshal(columnarFooter{RowCount: s.rows, Stats: stats})
+	if err != nil {
+		return
+	}
+	s.bw.WriteByte('F')
+	s.putUvarint(uint64(len(payload)))
+	s.bw.Write(payload)
+	_ = s.flush()
+}
+
+// fail writes the terminal 'E' record: the error arrived after the
+// header went out, so the failure travels in-band.
+func (s *columnarSink) fail(err error) {
+	msg := err.Error()
+	s.bw.WriteByte('E')
+	s.putUvarint(uint64(len(msg)))
+	s.bw.WriteString(msg)
+	_ = s.flush()
+}
+
+// ColumnarResult is a decoded columnar stream; see DecodeColumnar.
+type ColumnarResult struct {
+	Columns []string
+	Kinds   []storage.Kind
+	// Rows is the row-major transposition of the decoded batches; time
+	// columns decode to their raw int64 epoch-nanosecond values.
+	Rows [][]any
+	// RowCount and Stats are the 'F' footer; zero when the stream ended
+	// in an error record instead.
+	RowCount int
+	Stats    QueryStats
+	// Err is the 'E' record message, "" on success.
+	Err string
+}
+
+// DecodeColumnar reads one complete columnar stream: the reference
+// decoder, used by the tests and available to Go clients.
+func DecodeColumnar(r io.Reader) (*ColumnarResult, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("server: columnar header: %w", err)
+	}
+	if magic != wireMagic {
+		return nil, fmt.Errorf("server: bad columnar magic %q", magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("server: columnar version %d, want %d", ver, wireVersion)
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColumnarResult{}
+	for c := uint64(0); c < ncols; c++ {
+		name, err := readWireString(br)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		k, err := fromWireKind(kb)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = append(out.Columns, name)
+		out.Kinds = append(out.Kinds, k)
+	}
+	for {
+		rec, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("server: columnar stream truncated: %w", err)
+		}
+		switch rec {
+		case 'B':
+			if err := decodeColumnarBatch(br, out); err != nil {
+				return nil, err
+			}
+		case 'F':
+			payload, err := readWireString(br)
+			if err != nil {
+				return nil, err
+			}
+			var f columnarFooter
+			if err := json.Unmarshal([]byte(payload), &f); err != nil {
+				return nil, fmt.Errorf("server: columnar footer: %w", err)
+			}
+			out.RowCount, out.Stats = f.RowCount, f.Stats
+			return out, nil
+		case 'E':
+			msg, err := readWireString(br)
+			if err != nil {
+				return nil, err
+			}
+			out.Err = msg
+			return out, nil
+		default:
+			return nil, fmt.Errorf("server: unknown columnar record %q", rec)
+		}
+	}
+}
+
+func decodeColumnarBatch(br *bufio.Reader, out *ColumnarResult) error {
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	n := int(n64)
+	cols := make([][]any, len(out.Kinds))
+	for ci, k := range out.Kinds {
+		vals := make([]any, n)
+		switch k {
+		case storage.KindInt64, storage.KindTime:
+			for i := 0; i < n; i++ {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+		case storage.KindFloat64:
+			var buf [8]byte
+			for i := 0; i < n; i++ {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return err
+				}
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			}
+		case storage.KindBool:
+			for i := 0; i < n; i++ {
+				b, err := br.ReadByte()
+				if err != nil {
+					return err
+				}
+				vals[i] = b != 0
+			}
+		case storage.KindString:
+			for i := 0; i < n; i++ {
+				s, err := readWireString(br)
+				if err != nil {
+					return err
+				}
+				vals[i] = s
+			}
+		default:
+			return fmt.Errorf("server: cannot decode kind %v", k)
+		}
+		cols[ci] = vals
+	}
+	for i := 0; i < n; i++ {
+		row := make([]any, len(cols))
+		for ci := range cols {
+			row[ci] = cols[ci][i]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return nil
+}
+
+func readWireString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WireTime formats a columnar time value (epoch nanoseconds) the way
+// the JSON responses do, so clients of both formats agree.
+func WireTime(ns int64) string {
+	return time.Unix(0, ns).UTC().Format(timeLayout)
+}

@@ -319,6 +319,19 @@ func extendZones(prev *[][]Zone, batches []*Batch) [][]Zone {
 // Batches returns the underlying batches. Callers must not modify them.
 func (r *Relation) Batches() []*Batch { return r.batches }
 
+// TakeBatches removes and returns the relation's batches without
+// releasing them: ownership of every batch moves to the caller and the
+// relation is left empty (reusable or recyclable via PutRelation). The
+// streaming drain uses it to move coalesced batches out of its scratch
+// buffers and into the sink.
+func (r *Relation) TakeBatches() []*Batch {
+	bs := r.batches
+	r.batches = nil
+	r.rows = 0
+	r.zones.Store(nil)
+	return bs
+}
+
 // Rows reports the total number of rows.
 func (r *Relation) Rows() int { return r.rows }
 

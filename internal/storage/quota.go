@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Quota is a per-query ceiling on the bytes a query may materialize
+// into its own buffers: drained result relations, pipeline-breaker
+// builds (sort input, hash-join build side) and the bounded run-ahead
+// of the parallel streaming drain all charge against it. The global
+// batch pools carry no query identity, so the ceiling is enforced at
+// the boundary where batches accumulate into per-query state rather
+// than inside the pool itself; transient per-batch working memory
+// (one coalescer's worth per worker) is not counted.
+//
+// A nil *Quota means "unlimited" and every method is a no-op, so
+// callers thread it unconditionally.
+type Quota struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewQuota returns a quota enforcing the given byte limit, or nil
+// (unlimited) when limit <= 0.
+func NewQuota(limit int64) *Quota {
+	if limit <= 0 {
+		return nil
+	}
+	return &Quota{limit: limit}
+}
+
+// Charge records n more bytes of per-query materialized state and
+// errors with a *QuotaError once the total exceeds the limit.
+// Pipeline-breaker buffers are charged and never refunded (the
+// materialization must exist in full at some point, and the engine
+// loses sight of result relations once handed to the caller), so for
+// materialize-heavy plans the ceiling bounds cumulative
+// materialization — a slight over-count of the true peak. The
+// streaming drain refunds its run-ahead buffers as they are delivered,
+// so a streamed scan's charge stays bounded regardless of result size.
+func (q *Quota) Charge(n int64) error {
+	if q == nil || n <= 0 {
+		return nil
+	}
+	if used := q.used.Add(n); used > q.limit {
+		return &QuotaError{Limit: q.limit, Used: used}
+	}
+	return nil
+}
+
+// Refund returns n bytes to the quota: the counterpart of Charge for
+// buffers that were delivered downstream and recycled mid-query.
+func (q *Quota) Refund(n int64) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.used.Add(-n)
+}
+
+// Used reports the bytes charged so far (0 on a nil quota).
+func (q *Quota) Used() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.used.Load()
+}
+
+// QuotaError reports that a query exceeded its memory ceiling
+// (engine Config.MaxQueryBytes / sommelierd -max-query-bytes).
+type QuotaError struct {
+	Limit, Used int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("query memory ceiling exceeded: %d bytes materialized, limit %d", e.Used, e.Limit)
+}
