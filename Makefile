@@ -54,7 +54,9 @@ bench:
 ## heap-in-use and GC pauses over the 48-query bag, hot-query p50/p99
 ## latency at 1/16 clients) and BENCH_streaming.json (time-to-first-row
 ## and peak heap streaming vs materialized, the LIMIT-10 full-scan
-## first-row speedup, and top-k pushdown vs Sort+Limit).
+## first-row speedup, and top-k pushdown vs Sort+Limit) and
+## BENCH_robustness.json (cold mixed-bag p50/p99 clean vs fault-armed
+## vs 1% injected faults, degraded-result rate, chunks skipped).
 ## BENCH_selection.json is the frozen pre-parallelism baseline — do not
 ## overwrite it.
 bench-json:
@@ -66,6 +68,8 @@ bench-json:
 	@cat BENCH_memory.json
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -streaming-json BENCH_streaming.json
 	@cat BENCH_streaming.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -robustness-json BENCH_robustness.json
+	@cat BENCH_robustness.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

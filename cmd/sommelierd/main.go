@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sommelierd -dir repo -approach lazy -addr :8707 -workers 8
+//	sommelierd -remote http://archive:9000/chunks   # serve a remote archive
 //	sommelierd -gen-days 2          # demo mode: synthetic temp repo
 //
 // Endpoints:
@@ -19,6 +20,12 @@
 // With -pprof ADDR the standard net/http/pprof handlers are served on a
 // separate listener (GET /debug/pprof/), so CPU, heap, mutex and block
 // profiles can be captured from a running server.
+//
+// Robustness knobs (see RELIABILITY.md): -degraded makes partial
+// results the server default when an archive chunk is unavailable,
+// -faults/-fault-seed arm the deterministic fault injector, and the
+// -fetch-*/-breaker-*/-quarantine-ttl flags tune the remote-archive
+// retry, circuit-breaker and quarantine policies.
 package main
 
 import (
@@ -43,73 +50,142 @@ import (
 	"sommelier/internal/table"
 )
 
+// options collects every flag so run stays testable and new knobs do
+// not grow the positional parameter list.
+type options struct {
+	addr        string
+	dir         string
+	remote      string
+	approach    string
+	workers     int
+	queue       int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	cacheBytes  int64
+	cachePolicy string
+	maxPar      int
+	maxQueryB   int64
+	genDays     int
+	pprofAddr   string
+
+	// Robustness.
+	degraded      bool
+	faults        string
+	faultSeed     int64
+	fetchTimeout  time.Duration
+	fetchRetries  int
+	fetchBackoff  time.Duration
+	quarantineTTL time.Duration
+	breakerThresh int
+	breakerCool   time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8707", "listen address")
-		dir         = flag.String("dir", "", "repository directory (empty: generate a synthetic demo repo)")
-		approach    = flag.String("approach", "lazy", "loading approach: lazy, eager_csv, eager_plain, eager_index, eager_dmd")
-		workers     = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 0, "queued query bound before 503 (0 = 4x workers)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
-		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
-		cacheBytes  = flag.Int64("cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
-		cachePolicy = flag.String("cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
-		maxPar      = flag.Int("max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
-		maxQueryB   = flag.Int64("max-query-bytes", 0, "per-query memory ceiling on materialized bytes; exceeding it fails the query with 413 (0 = unlimited)")
-		genDays     = flag.Int("gen-days", 2, "days of synthetic data when generating a demo repo")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8707", "listen address")
+	flag.StringVar(&o.dir, "dir", "", "repository directory (empty: generate a synthetic demo repo)")
+	flag.StringVar(&o.remote, "remote", "", "base URL of a remote HTTP chunk archive (overrides -dir)")
+	flag.StringVar(&o.approach, "approach", "lazy", "loading approach: lazy, eager_csv, eager_plain, eager_index, eager_dmd")
+	flag.IntVar(&o.workers, "workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "queued query bound before 503 (0 = 4x workers)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-query timeout")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
+	flag.StringVar(&o.cachePolicy, "cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
+	flag.IntVar(&o.maxPar, "max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
+	flag.Int64Var(&o.maxQueryB, "max-query-bytes", 0, "per-query memory ceiling on materialized bytes; exceeding it fails the query with 413 (0 = unlimited)")
+	flag.IntVar(&o.genDays, "gen-days", 2, "days of synthetic data when generating a demo repo")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+	flag.BoolVar(&o.degraded, "degraded", false, "default to degraded mode: answer over available chunks when some are unreachable (per-request override via \"degraded\")")
+	flag.StringVar(&o.faults, "faults", "", "deterministic fault-injection spec, e.g. registrar.http=error:0.05 (empty: honor SOMMELIER_FAULTS; \"off\" disables)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "seed for the -faults schedule (reproducible fault sequences)")
+	flag.DurationVar(&o.fetchTimeout, "fetch-timeout", 30*time.Second, "per-attempt deadline for one remote chunk fetch")
+	flag.IntVar(&o.fetchRetries, "fetch-retries", 0, "max fetch attempts per chunk, including the first (0 = default 3)")
+	flag.DurationVar(&o.fetchBackoff, "fetch-backoff", 0, "base retry backoff, doubled per attempt with jitter (0 = default 50ms)")
+	flag.DurationVar(&o.quarantineTTL, "quarantine-ttl", 0, "how long a failed chunk stays quarantined (0 = default 30s, negative disables)")
+	flag.IntVar(&o.breakerThresh, "breaker-threshold", 0, "consecutive fetch failures before the per-host circuit opens (0 = default 5)")
+	flag.DurationVar(&o.breakerCool, "breaker-cooldown", 0, "how long an open circuit waits before a half-open probe (0 = default 2s)")
 	flag.Parse()
-	if err := run(*addr, *dir, *approach, *workers, *queue, *timeout, *maxTimeout,
-		*cacheBytes, *cachePolicy, *maxPar, *maxQueryB, *genDays, *pprofAddr); err != nil {
+
+	if err := run(o); err != nil {
 		log.Fatalf("sommelierd: %v", err)
 	}
 }
 
-func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout time.Duration,
-	cacheBytes int64, cachePolicy string, maxPar int, maxQueryBytes int64, genDays int, pprofAddr string) error {
-	if pprofAddr != "" {
+func run(o options) error {
+	if o.pprofAddr != "" {
 		// Opt-in profiling endpoint on its own listener, so CPU and
 		// contention profiles can be captured from a production server
 		// without exposing pprof on the query port. The query mux is a
 		// dedicated ServeMux; the net/http/pprof handlers live only on
 		// the DefaultServeMux served here.
 		go func() {
-			log.Printf("pprof listening on %s (/debug/pprof/)", pprofAddr)
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+			log.Printf("pprof listening on %s (/debug/pprof/)", o.pprofAddr)
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
 	}
-	if dir == "" {
-		d, err := os.MkdirTemp("", "sommelierd-demo-")
-		if err != nil {
-			return err
-		}
-		log.Printf("no -dir given: generating %d-day synthetic repository under %s", genDays, d)
-		if _, err := seisgen.Generate(d, seisgen.DefaultConfig(genDays)); err != nil {
-			return err
-		}
-		dir = d
-	}
 	var policy cache.Policy
-	switch cachePolicy {
+	switch o.cachePolicy {
 	case "lru":
 		policy = cache.LRU
 	case "cost-aware":
 		policy = cache.CostAware
 	default:
-		return fmt.Errorf("unknown -cache-policy %q", cachePolicy)
+		return fmt.Errorf("unknown -cache-policy %q", o.cachePolicy)
+	}
+	cfg := engine.Config{
+		Approach:      registrar.Approach(o.approach),
+		CacheBytes:    o.cacheBytes,
+		CachePolicy:   policy,
+		MaxParallel:   o.maxPar,
+		MaxQueryBytes: o.maxQueryB,
+		Degraded:      o.degraded,
+		Faults:        o.faults,
+		FaultSeed:     o.faultSeed,
 	}
 
 	t0 := time.Now()
-	db, err := engine.Open(dir, engine.Config{
-		Approach:      registrar.Approach(approach),
-		CacheBytes:    cacheBytes,
-		CachePolicy:   policy,
-		MaxParallel:   maxPar,
-		MaxQueryBytes: maxQueryBytes,
-	})
+	var db *engine.DB
+	var err error
+	var origin string
+	if o.remote != "" {
+		repo := &registrar.HTTPRepository{
+			BaseURL: o.remote,
+			Timeout: o.fetchTimeout,
+			Retry: registrar.RetryPolicy{
+				MaxAttempts: o.fetchRetries,
+				BaseBackoff: o.fetchBackoff,
+			},
+			Breaker: registrar.BreakerConfig{
+				Threshold: o.breakerThresh,
+				Cooldown:  o.breakerCool,
+			},
+			QuarantineTTL: o.quarantineTTL,
+		}
+		if err := repo.Discover(context.Background()); err != nil {
+			return fmt.Errorf("discover %s: %w", o.remote, err)
+		}
+		db, err = engine.OpenSource(repo, "", cfg)
+		origin = o.remote
+	} else {
+		dir := o.dir
+		if dir == "" {
+			d, mkErr := os.MkdirTemp("", "sommelierd-demo-")
+			if mkErr != nil {
+				return mkErr
+			}
+			log.Printf("no -dir given: generating %d-day synthetic repository under %s", o.genDays, d)
+			if _, genErr := seisgen.Generate(d, seisgen.DefaultConfig(o.genDays)); genErr != nil {
+				return genErr
+			}
+			dir = d
+		}
+		db, err = engine.Open(dir, cfg)
+		origin = dir
+	}
 	if err != nil {
 		return err
 	}
@@ -128,21 +204,24 @@ func run(addr, dir, approach string, workers, queue int, timeout, maxTimeout tim
 	}
 	rep := db.Report()
 	log.Printf("registered %s (%s): %d files, %d segments in %v",
-		dir, approach, rep.Files, rep.Segments, time.Since(t0).Round(time.Millisecond))
+		origin, o.approach, rep.Files, rep.Segments, time.Since(t0).Round(time.Millisecond))
+	if o.degraded {
+		log.Printf("degraded mode is the server default: partial results carry warnings")
+	}
 
 	svc := server.New(db, server.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTimeout,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		DefaultTimeout: o.timeout,
+		MaxTimeout:     o.maxTimeout,
 	})
-	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (POST /query, GET /stats, GET /healthz)", addr)
+		log.Printf("serving on %s (POST /query, GET /stats, GET /healthz)", o.addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -96,6 +96,29 @@ func suppressed() {
 	_ = b
 }
 
+// faultLeak mirrors the fault-injection idiom: an injected error
+// branch (inject stands in for fault.Injector.Check) returns early and
+// drops the pooled batch.
+func faultLeak(inject func() error) error {
+	b := storage.NewPooledBatch(ints()) // want "pooled value \"b\" from NewPooledBatch is not released on every path"
+	if err := inject(); err != nil {
+		return err
+	}
+	storage.PutBatch(b)
+	return nil
+}
+
+// cleanFaultPath releases the batch on the injected-error branch too.
+func cleanFaultPath(inject func() error) error {
+	b := storage.NewPooledBatch(ints())
+	if err := inject(); err != nil {
+		storage.PutBatch(b)
+		return err
+	}
+	storage.PutBatch(b)
+	return nil
+}
+
 // sink mimics physical.StreamSink: Push takes ownership of the batch.
 type sink interface {
 	Push(b *storage.Batch) error

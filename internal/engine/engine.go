@@ -16,6 +16,7 @@ import (
 	"sommelier/internal/dmd"
 	"sommelier/internal/exec"
 	"sommelier/internal/expr"
+	"sommelier/internal/fault"
 	"sommelier/internal/opt"
 	"sommelier/internal/physical"
 	"sommelier/internal/plan"
@@ -57,6 +58,22 @@ type Config struct {
 	// ceiling fails with a *storage.QuotaError — the multi-tenant
 	// admission-control knob (sommelierd -max-query-bytes).
 	MaxQueryBytes int64
+	// Degraded makes partial results the default: a query whose chunk
+	// fetch ultimately fails (exhausted retries, quarantine, open
+	// circuit breaker) proceeds over the available chunks and carries
+	// one Result.Warnings entry per skipped chunk. False keeps strict
+	// fail-fast semantics. Either default is overridable per query via
+	// WithDegraded.
+	Degraded bool
+	// Faults is the fault-injection schedule for this database's
+	// ingestion path, in internal/fault spec syntax
+	// ("point=kind:rate[:dur],..."). Empty defers to the
+	// SOMMELIER_FAULTS environment; "off" (or "none") disables
+	// injection regardless of the environment.
+	Faults string
+	// FaultSeed drives the deterministic fault decisions when Faults
+	// is set (the environment schedule uses SOMMELIER_FAULT_SEED).
+	FaultSeed int64
 }
 
 // DefaultCacheBytes is the recycler capacity when none is configured.
@@ -231,6 +248,21 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 	}
 	db.plans = newPlanCache(size)
 	db.env.MaxQueryBytes = cfg.MaxQueryBytes
+	db.env.Degraded = cfg.Degraded
+	if strings.TrimSpace(cfg.Faults) == "" {
+		// Defer to the process environment (nil when unset: the
+		// injection checks reduce to a nil-receiver branch).
+		db.env.Faults = fault.Default()
+	} else {
+		inj, err := fault.New(cfg.Faults, cfg.FaultSeed)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		db.env.Faults = inj
+	}
+	if fc, ok := repo.(registrar.FaultConfigurable); ok {
+		fc.SetFaults(db.env.Faults)
+	}
 	if v := strings.TrimSpace(os.Getenv(EnvForceStreaming)); v != "" && v != "0" {
 		db.forceStream = true
 	}
@@ -314,6 +346,31 @@ func (db *DB) fillSizes() {
 		db.report.MseedBytes = sz.TotalBytes()
 	}
 }
+
+// Warning aliases exec.Warning: one chunk a degraded query skipped.
+type Warning = exec.Warning
+
+// WithDegraded overrides the database's degraded-mode default for
+// queries run under the returned context (see Config.Degraded).
+func WithDegraded(ctx context.Context, degraded bool) context.Context {
+	return exec.WithDegraded(ctx, degraded)
+}
+
+// SourceHealth reports the chunk source's reliability state — per-host
+// circuit breakers, quarantine population, retry counters — when the
+// source tracks it (registrar.HTTPRepository does); nil otherwise.
+func (db *DB) SourceHealth() *registrar.Health {
+	if h, ok := db.repo.(interface{ Health() registrar.Health }); ok {
+		health := h.Health()
+		return &health
+	}
+	return nil
+}
+
+// FaultInjector exposes the engine's fault injector — nil unless
+// Config.Faults or SOMMELIER_FAULTS armed one. Benchmarks use it to
+// report how many faults actually fired during a run.
+func (db *DB) FaultInjector() *fault.Injector { return db.env.Faults }
 
 // Result is a completed query with full provenance.
 type Result struct {

@@ -13,6 +13,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -24,6 +25,7 @@ import (
 
 	"sommelier/internal/cache"
 	"sommelier/internal/expr"
+	"sommelier/internal/fault"
 	"sommelier/internal/index"
 	"sommelier/internal/physical"
 	"sommelier/internal/plan"
@@ -101,6 +103,17 @@ type Env struct {
 	// streaming run-ahead); 0 means unlimited. Exceeding it aborts the
 	// query with a *storage.QuotaError.
 	MaxQueryBytes int64
+	// Degraded is the environment's default degraded-mode setting:
+	// when true, a query whose chunk ingestion fails with a Degradable
+	// error proceeds over the available chunks and records a Warning
+	// per skipped chunk, instead of failing outright. Per-query
+	// override: WithDegraded.
+	Degraded bool
+	// Faults is the fault-injection schedule for the ingestion path
+	// (points exec.flight and cache.fill); nil injects nothing unless
+	// the process environment (SOMMELIER_FAULTS) arms a schedule via
+	// the engine.
+	Faults *fault.Injector
 
 	// flights deduplicates concurrent ingestions of the same missing
 	// chunk across every query executing in this environment, keyed by
@@ -147,6 +160,9 @@ type Stats struct {
 	// IndexScans counts metadata accesses served through the
 	// index-scan access path instead of a full scan.
 	IndexScans int
+	// ChunksSkipped counts selected chunks a degraded-mode query
+	// proceeded without (one Result.Warnings entry each).
+	ChunksSkipped int
 }
 
 // Total is the end-to-end execution time.
@@ -158,6 +174,46 @@ type Result struct {
 	Kinds []storage.Kind
 	Rel   *storage.Relation
 	Stats Stats
+	// Warnings is non-empty only for degraded results: one entry per
+	// chunk the query proceeded without. Aggregates and row sets are
+	// correct over the surviving chunk set.
+	Warnings []Warning
+}
+
+// Warning records one chunk a degraded-mode query skipped.
+type Warning struct {
+	Table  string `json:"table"`
+	Chunk  int64  `json:"chunk"`
+	Rows   int64  `json:"rows,omitempty"`  // rows lost, when known (0 = unknown)
+	Bytes  int64  `json:"bytes,omitempty"` // bytes lost, when known
+	Reason string `json:"reason"`
+}
+
+// degradedKey carries the per-query degraded-mode override.
+type degradedKey struct{}
+
+// WithDegraded overrides the environment's degraded-mode default for
+// queries run under the returned context: true lets chunk-ingestion
+// failures degrade to partial results with warnings, false restores
+// strict fail-fast behavior.
+func WithDegraded(ctx context.Context, degraded bool) context.Context {
+	return context.WithValue(ctx, degradedKey{}, degraded)
+}
+
+// degradedFrom reads the per-query override.
+func degradedFrom(ctx context.Context) (bool, bool) {
+	v, ok := ctx.Value(degradedKey{}).(bool)
+	return v, ok
+}
+
+// degradable reports whether an error self-identifies as an
+// availability (not correctness) failure: registrar.ChunkError,
+// registrar.CircuitOpenError and fault.Error all do, via the
+// Degradable marker method. The interface is structural so exec does
+// not import registrar.
+func degradable(err error) bool {
+	var d interface{ Degradable() bool }
+	return errors.As(err, &d) && d.Degradable()
 }
 
 // Rows is shorthand for the result cardinality.
@@ -303,6 +359,12 @@ type executor struct {
 	// joined before any counter is updated, so accumulation is
 	// race-free even with many concurrent queries per Env.
 	stats Stats
+
+	// degraded is the query's effective degraded-mode setting (the Env
+	// default, overridable per query via WithDegraded); warnings
+	// accumulates one entry per chunk skipped under it.
+	degraded bool
+	warnings []Warning
 }
 
 type loadedChunk struct {
@@ -328,6 +390,10 @@ func (ex *executor) run() (*Result, error) {
 	defer ex.env.inflight.Add(-1)
 	ex.par = ex.env.dop()
 	ex.quota = storage.NewQuota(ex.env.MaxQueryBytes)
+	ex.degraded = ex.env.Degraded
+	if v, ok := degradedFrom(ex.ctx); ok {
+		ex.degraded = v
+	}
 	if ex.trace != nil {
 		// Traced execution stays serial so per-operator row counts are
 		// exact without atomics on the hot path. The Counted wrappers
@@ -413,10 +479,11 @@ func (ex *executor) run() (*Result, error) {
 		}
 		ex.stats.Stage2 = time.Since(t2)
 		return &Result{
-			Names: ex.plan.Root.Names(),
-			Kinds: ex.plan.Root.Kinds(),
-			Rel:   storage.NewRelation(),
-			Stats: ex.stats,
+			Names:    ex.plan.Root.Names(),
+			Kinds:    ex.plan.Root.Kinds(),
+			Rel:      storage.NewRelation(),
+			Stats:    ex.stats,
+			Warnings: ex.warnings,
 		}, nil
 	}
 	rel, err := ex.drainPooled(op)
@@ -425,10 +492,11 @@ func (ex *executor) run() (*Result, error) {
 	}
 	ex.stats.Stage2 = time.Since(t2)
 	return &Result{
-		Names: ex.plan.Root.Names(),
-		Kinds: ex.plan.Root.Kinds(),
-		Rel:   rel,
-		Stats: ex.stats,
+		Names:    ex.plan.Root.Names(),
+		Kinds:    ex.plan.Root.Kinds(),
+		Rel:      rel,
+		Stats:    ex.stats,
+		Warnings: ex.warnings,
 	}, nil
 }
 
@@ -595,10 +663,27 @@ func (ex *executor) ingestSelected() error {
 		}
 		wg.Wait()
 		// Record every pin the workers took before failing the query,
-		// so the deferred release sees them all.
+		// so the deferred release sees them all. In degraded mode an
+		// unavailable chunk (a Degradable error: exhausted retries,
+		// quarantine, open breaker, injected fault) is skipped with a
+		// warning instead of failing the query; non-degradable errors
+		// and caller cancellation stay fatal either way.
 		var firstErr error
+		var skipped map[int64]bool
 		for _, r := range results {
 			if r.err != nil {
+				if ex.degraded && ex.ctx.Err() == nil && degradable(r.err) {
+					if skipped == nil {
+						skipped = make(map[int64]bool)
+					}
+					skipped[r.id] = true
+					ex.stats.ChunksSkipped++
+					ex.warnings = append(ex.warnings, Warning{
+						Table: tn, Chunk: r.id, Rows: r.rows, Bytes: r.bytes,
+						Reason: r.err.Error(),
+					})
+					continue
+				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("exec: chunk-access(%s, %d): %w", tn, r.id, r.err)
 				}
@@ -622,6 +707,17 @@ func (ex *executor) ingestSelected() error {
 		}
 		if firstErr != nil {
 			return firstErr
+		}
+		if len(skipped) > 0 {
+			// Stage two must scan only the surviving chunks: drop the
+			// skipped IDs from the selection (adScanRels walks it).
+			kept := make([]int64, 0, len(ex.selected[tn])-len(skipped))
+			for _, id := range ex.selected[tn] {
+				if !skipped[id] {
+					kept = append(kept, id)
+				}
+			}
+			ex.selected[tn] = kept
 		}
 	}
 	return nil
@@ -661,10 +757,33 @@ func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResul
 			if t.Pin(id) {
 				return flightResult{hit: true}, nil
 			}
+			// exec.flight fault point: covers the whole ingestion of
+			// one chunk. An injected error fails this flight only —
+			// flight errors are never cached, so a later query retries.
+			if act := ex.env.Faults.Check(fault.PointFlight); act.Err != nil || act.Delay > 0 {
+				if err := act.Wait(ex.ctx); err != nil {
+					return flightResult{}, err
+				}
+				if act.Err != nil {
+					return flightResult{}, act.Err
+				}
+			}
 			t0 := time.Now()
 			rel, err := ex.env.Loader.LoadChunk(tn, id)
 			if err != nil {
 				return flightResult{}, err
+			}
+			// cache.fill fault point: the chunk arrived and decoded,
+			// but fails to become resident. The loaded relation is
+			// unpooled (loader-owned) storage, so dropping it here
+			// leaks nothing.
+			if act := ex.env.Faults.Check(fault.PointCacheFill); act.Err != nil || act.Delay > 0 {
+				if err := act.Wait(ex.ctx); err != nil {
+					return flightResult{}, err
+				}
+				if act.Err != nil {
+					return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize()}, act.Err
+				}
 			}
 			if err := t.AppendChunk(id, rel); err != nil {
 				return flightResult{}, err
@@ -675,7 +794,7 @@ func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResul
 			return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize(), cost: time.Since(t0)}, nil
 		})
 		if err != nil {
-			return chunkResult{id: id, err: err}
+			return chunkResult{id: id, err: err, rows: res.rows, bytes: res.bytes}
 		}
 		if leader {
 			if res.hit {

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightSharesLeaderResult: waiters joining an open flight get the
+// leader's result without running fn themselves.
+func TestFlightSharesLeaderResult(t *testing.T) {
+	var g flightGroup
+	key := flightKey{table: "D", id: 7}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, leader, err := g.do(context.Background(), key, func() (flightResult, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return flightResult{rows: 42, bytes: 4096}, nil
+		})
+		if err != nil || !leader {
+			t.Errorf("leader: res=%+v leader=%v err=%v", res, leader, err)
+		}
+	}()
+	<-entered
+
+	const waiters = 4
+	results := make([]flightResult, waiters)
+	leaders := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, leader, err := g.do(context.Background(), key, func() (flightResult, error) {
+				calls.Add(1)
+				return flightResult{}, errors.New("waiter must not run fn")
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], leaders[i] = res, leader
+		}(i)
+	}
+	// Give the waiters a moment to join the open flight, then land it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i := range results {
+		if leaders[i] {
+			t.Errorf("waiter %d claims leadership", i)
+		}
+		if results[i].rows != 42 || results[i].bytes != 4096 {
+			t.Errorf("waiter %d result %+v, want leader's", i, results[i])
+		}
+	}
+}
+
+// TestFlightWaiterCancelled: a waiter whose context expires mid-flight
+// returns its context error immediately, and the shared flight result
+// is not poisoned — the leader and later callers still succeed.
+func TestFlightWaiterCancelled(t *testing.T) {
+	var g flightGroup
+	key := flightKey{table: "D", id: 3}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), key, func() (flightResult, error) {
+			close(entered)
+			<-release
+			return flightResult{rows: 7}, nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx, key, func() (flightResult, error) {
+			t.Error("cancelled waiter ran fn")
+			return flightResult{}, nil
+		})
+		waiterDone <- err
+	}()
+	// Let the waiter park on the flight, then cancel only the waiter.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+
+	// The leader is unaffected by the waiter's cancellation.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after waiter cancellation: %v", err)
+	}
+	// And the key is clear: a fresh caller becomes a fresh leader.
+	res, leader, err := g.do(context.Background(), key, func() (flightResult, error) {
+		return flightResult{rows: 9}, nil
+	})
+	if err != nil || !leader || res.rows != 9 {
+		t.Fatalf("fresh flight after cancellation: res=%+v leader=%v err=%v", res, leader, err)
+	}
+}
+
+// TestFlightErrorNotCached: a failed flight's error is shared with its
+// waiters but not cached — the next caller retries with a fresh fn
+// run. This is what lets the registrar's quarantine/retry policy own
+// failure memory instead of the flight table.
+func TestFlightErrorNotCached(t *testing.T) {
+	var g flightGroup
+	key := flightKey{table: "D", id: 11}
+	injected := errors.New("injected: chunk fetch failed")
+	var calls atomic.Int32
+
+	_, leader, err := g.do(context.Background(), key, func() (flightResult, error) {
+		calls.Add(1)
+		return flightResult{}, injected
+	})
+	if !leader || !errors.Is(err, injected) {
+		t.Fatalf("first call: leader=%v err=%v", leader, err)
+	}
+
+	// The failure must not be remembered: the next caller runs fn again
+	// and can succeed.
+	res, leader, err := g.do(context.Background(), key, func() (flightResult, error) {
+		calls.Add(1)
+		return flightResult{rows: 5}, nil
+	})
+	if err != nil || !leader || res.rows != 5 {
+		t.Fatalf("retry after failure: res=%+v leader=%v err=%v", res, leader, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn ran %d times, want 2 (errors are not cached)", n)
+	}
+}
+
+// TestFlightErrorSharedWithWaiters: waiters of a failing flight all see
+// the leader's error.
+func TestFlightErrorSharedWithWaiters(t *testing.T) {
+	var g flightGroup
+	key := flightKey{table: "D", id: 13}
+	injected := errors.New("injected")
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := g.do(context.Background(), key, func() (flightResult, error) {
+			close(entered)
+			<-release
+			return flightResult{}, injected
+		})
+		if !errors.Is(err, injected) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-entered
+
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.do(context.Background(), key, func() (flightResult, error) {
+				t.Error("waiter ran fn")
+				return flightResult{}, nil
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, injected) {
+			t.Errorf("waiter %d err = %v, want the leader's injected error", i, err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+// This file holds the robustness headline dump (`benchrunner
+// -robustness-json` → BENCH_robustness.json): the 48-query mixed bag
+// run cold (cache cleared before every query, so every query exercises
+// the chunk-ingestion fault points) under three fault regimes — clean
+// (injector disabled), armed at rate zero (the retry/injection
+// plumbing is live but never fires: its overhead must be noise), and a
+// ~1% fault schedule in degraded mode (queries proceed over available
+// chunks and report what they skipped). The report captures p50/p99
+// latency per regime plus the degraded-result rate and skipped-chunk
+// count under faults.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sommelier/internal/engine"
+	"sommelier/internal/fault"
+	"sommelier/internal/registrar"
+	"sommelier/internal/seismic"
+	"sommelier/internal/table"
+)
+
+// FaultySchedule is the deterministic ~1% schedule of the faulty
+// regime: each chunk flight has a 1% chance of failing at its head and
+// each cache fill a 0.5% chance of failing after the load.
+const FaultySchedule = "exec.flight=error:0.01,cache.fill=error:0.005"
+
+// FaultySeed pins the faulty regime's schedule so reruns see the same
+// fault sequence.
+const FaultySeed = 1
+
+// RobustnessPhase is one fault regime's view of the mixed bag.
+type RobustnessPhase struct {
+	Name   string `json:"name"`
+	Faults string `json:"faults"`
+	// Degraded reports whether queries were allowed to proceed over
+	// missing chunks (always false for the clean regime).
+	Degraded bool `json:"degraded"`
+	Queries  int  `json:"queries"`
+	// Latency quantiles over per-query wall times, cold cache.
+	P50US int64 `json:"p50_us"`
+	P99US int64 `json:"p99_us"`
+	// DegradedQueries counts queries that returned with warnings;
+	// DegradedRate is the fraction of the bag.
+	DegradedQueries int     `json:"degraded_queries"`
+	DegradedRate    float64 `json:"degraded_rate"`
+	// ChunksSkipped is the total across the bag.
+	ChunksSkipped int `json:"chunks_skipped"`
+	// FaultsFired is the injector's count of fired faults (zero for
+	// clean and armed-zero regimes).
+	FaultsFired uint64 `json:"faults_fired"`
+}
+
+// RobustnessReport is the machine-readable robustness summary.
+type RobustnessReport struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
+	ScaleFactor   int   `json:"scale_factor"`
+	// ArmedOverheadP50 is armed-zero p50 / clean p50 — the cost of the
+	// live retry/injection plumbing when no fault ever fires.
+	ArmedOverheadP50 float64           `json:"armed_overhead_p50"`
+	Phases           []RobustnessPhase `json:"phases"`
+}
+
+// openRobust opens a lazy database with an explicit fault
+// configuration and the T3 metadata view registered.
+func openRobust(dir string, cfg engine.Config) (*engine.DB, error) {
+	cfg.Approach = registrar.Lazy
+	cfg.OptDisable = "none"
+	db, err := engine.Open(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = db.Catalog().AddView(&table.View{
+		Name:   "windowdataview_md",
+		Tables: []string{seismic.TableF, seismic.TableH},
+		Joins: []table.JoinPred{
+			{Left: "F.station", Right: "H.window_station"},
+			{Left: "F.channel", Right: "H.window_channel"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// robustnessRounds is how many times each phase repeats the bag: the
+// per-query wall times sit in the tens of microseconds, so a single
+// pass puts timer jitter in the same decade as the p50 itself. One
+// extra warm-up pass (compile + plan cache) is run first and
+// discarded.
+const robustnessRounds = 5
+
+// runRobustnessPhase runs the bag cold (cache cleared before each
+// query, so chunk ingestion — and with it the fault points — runs
+// every time) and summarizes latencies and degradation.
+func runRobustnessPhase(db *engine.DB, name, faults string, degraded bool, bag []string) (RobustnessPhase, error) {
+	p := RobustnessPhase{Name: name, Faults: faults, Degraded: degraded, Queries: len(bag) * robustnessRounds}
+	lat := make([]int64, 0, len(bag)*robustnessRounds)
+	for round := -1; round < robustnessRounds; round++ {
+		for _, sql := range bag {
+			db.ClearCache()
+			t0 := time.Now()
+			res, err := db.QueryContext(context.Background(), sql)
+			if err != nil {
+				return p, fmt.Errorf("%s: %w", name, err)
+			}
+			if round < 0 { // warm-up pass
+				res.Release()
+				continue
+			}
+			lat = append(lat, time.Since(t0).Microseconds())
+			if len(res.Warnings) > 0 {
+				p.DegradedQueries++
+				p.ChunksSkipped += res.Stats.ChunksSkipped
+			}
+			res.Release()
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p.P50US = quantileUS(lat, 0.50)
+	p.P99US = quantileUS(lat, 0.99)
+	p.DegradedRate = float64(p.DegradedQueries) / float64(p.Queries)
+	return p, nil
+}
+
+func quantileUS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// CollectRobustness runs the three fault regimes over the mixed bag at
+// the first scale factor.
+func CollectRobustness(cfg Config) (*RobustnessReport, error) {
+	sf := cfg.ScaleFactors[0]
+	dir, _, err := cfg.Repo(sf, false)
+	if err != nil {
+		return nil, err
+	}
+	bag := mixedBag(cfg, sf)
+	rep := &RobustnessReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		ScaleFactor:   sf,
+	}
+
+	regimes := []struct {
+		name     string
+		faults   string
+		degraded bool
+	}{
+		// Injector disabled outright: the baseline, and a shield against
+		// any ambient SOMMELIER_FAULTS schedule.
+		{"clean", "off", false},
+		// Armed but silent: every fault point is checked, none fires.
+		{"armed_zero_rate", "exec.flight=error:0,cache.fill=error:0", false},
+		// The headline: ~1% chunk-level faults, queries degrade instead
+		// of failing.
+		{"faulty_1pct", FaultySchedule, true},
+	}
+	for _, rg := range regimes {
+		db, err := openRobust(dir, engine.Config{
+			Degraded:  rg.degraded,
+			Faults:    rg.faults,
+			FaultSeed: FaultySeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := runRobustnessPhase(db, rg.name, rg.faults, rg.degraded, bag)
+		if err != nil {
+			return nil, err
+		}
+		if inj := db.FaultInjector(); inj != nil {
+			p.FaultsFired = inj.Fired(fault.PointFlight) + inj.Fired(fault.PointCacheFill) +
+				inj.Fired(fault.PointHTTP) + inj.Fired(fault.PointDecode)
+		}
+		rep.Phases = append(rep.Phases, p)
+	}
+	if rep.Phases[0].P50US > 0 {
+		rep.ArmedOverheadP50 = float64(rep.Phases[1].P50US) / float64(rep.Phases[0].P50US)
+	}
+	return rep, nil
+}
+
+// WriteRobustnessJSON collects the robustness report and writes it as
+// indented JSON to path.
+func WriteRobustnessJSON(cfg Config, path string) error {
+	m, err := CollectRobustness(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

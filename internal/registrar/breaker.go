@@ -1,0 +1,180 @@
+package registrar
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// The classic three states: closed passes requests and counts
+// consecutive failures; open rejects without a network attempt until
+// the cooldown elapses; half-open admits a single probe whose outcome
+// decides between re-closing and re-opening.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-host circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive request failures that
+	// opens the breaker. <= 0 selects the default (5).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe. <= 0 selects the default (2s).
+	Cooldown time.Duration
+}
+
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 2 * time.Second
+)
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = defaultBreakerThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = defaultBreakerCooldown
+	}
+	return c
+}
+
+// breaker is one host's circuit breaker. The half-open state admits
+// exactly one in-flight probe; other callers are rejected as if open,
+// so a recovering host sees one request, not a thundering herd.
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool  // a half-open probe is in flight
+	opens    int64 // lifetime count of closed→open transitions
+}
+
+// allow reports whether a request may proceed; when it may not, the
+// remaining cooldown is returned for Retry-After-style surfacing.
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if wait := b.cfg.Cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// success records a completed request, re-closing a half-open breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a failed request: it trips a closed breaker past the
+// threshold and re-opens a half-open one immediately.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	default: // already open (late failure from an admitted request)
+		b.openedAt = now
+	}
+}
+
+// HostHealth is one host's breaker snapshot, surfaced on /stats.
+type HostHealth struct {
+	Host                string `json:"host"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               int64  `json:"opens"`
+}
+
+func (b *breaker) snapshot(host string) HostHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return HostHealth{
+		Host:                host,
+		State:               b.state.String(),
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+	}
+}
+
+// breakerSet lazily allocates one breaker per host.
+type breakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*breaker
+}
+
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
+}
+
+func (s *breakerSet) get(host string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[host]
+	if b == nil {
+		b = &breaker{cfg: s.cfg}
+		s.m[host] = b
+	}
+	return b
+}
+
+func (s *breakerSet) snapshot() []HostHealth {
+	s.mu.Lock()
+	hosts := make([]string, 0, len(s.m))
+	for h := range s.m {
+		hosts = append(hosts, h)
+	}
+	s.mu.Unlock()
+	out := make([]HostHealth, 0, len(hosts))
+	for _, h := range hosts {
+		out = append(out, s.get(h).snapshot(h))
+	}
+	return out
+}

@@ -15,6 +15,7 @@
 package registrar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"io/fs"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"sommelier/internal/csvio"
+	"sommelier/internal/fault"
 	"sommelier/internal/index"
 	"sommelier/internal/mseed"
 	"sommelier/internal/seismic"
@@ -140,6 +142,34 @@ type Source interface {
 	Open(chunkID int64) (io.ReadCloser, error)
 }
 
+// ContextSource is the optional context-aware extension of Source:
+// sources that can honor deadlines and cancellation mid-fetch (the
+// HTTP repository's retry/backoff ladder) implement it, and
+// LoadChunkFromSourceContext prefers it over plain Open.
+type ContextSource interface {
+	OpenContext(ctx context.Context, chunkID int64) (io.ReadCloser, error)
+}
+
+// FaultConfigurable is implemented by sources that accept a
+// fault-injection schedule (the engine wires Config.Faults through
+// it).
+type FaultConfigurable interface {
+	SetFaults(*fault.Injector)
+}
+
+// faultSource exposes a source's effective injector to the shared
+// chunk-decode path.
+type faultSource interface {
+	faultInjector() *fault.Injector
+}
+
+func injectorFor(src Source) *fault.Injector {
+	if fs, ok := src.(faultSource); ok {
+		return fs.faultInjector()
+	}
+	return fault.Default()
+}
+
 // ChunkSource is the full contract the engine needs from a repository:
 // enumeration and streaming (Source) plus the chunk-access operator of
 // the executor (exec.ChunkLoader's method set).
@@ -154,6 +184,20 @@ type ChunkSource interface {
 type Repository struct {
 	Dir  string
 	Uris []string // position = chunk ID
+	// Faults is the fault-injection schedule for this repository; nil
+	// falls back to the process environment (fault.Default). Local
+	// repositories only honor the mseed.decode point.
+	Faults *fault.Injector
+}
+
+// SetFaults overrides the repository's fault-injection schedule.
+func (r *Repository) SetFaults(in *fault.Injector) { r.Faults = in }
+
+func (r *Repository) faultInjector() *fault.Injector {
+	if r.Faults != nil {
+		return r.Faults
+	}
+	return fault.Default()
 }
 
 // DiscoverRepository lists the chunk files under dir in deterministic
@@ -232,15 +276,41 @@ func allChunkIDs(src Source) []int64 {
 // fully decodes one chunk through the domain codec and transforms it
 // into the D schema, materializing per-sample timestamps.
 func LoadChunkFromSource(src Source, tableName string, chunkID int64) (*storage.Relation, error) {
+	return LoadChunkFromSourceContext(context.Background(), src, tableName, chunkID)
+}
+
+// LoadChunkFromSourceContext is LoadChunkFromSource honoring a
+// context: sources implementing ContextSource get it for the byte
+// fetch, and the mseed.decode fault point can corrupt or fail the
+// payload before decoding.
+func LoadChunkFromSourceContext(ctx context.Context, src Source, tableName string, chunkID int64) (*storage.Relation, error) {
 	if tableName != seismic.TableD {
 		return nil, fmt.Errorf("registrar: unknown actual-data table %q", tableName)
 	}
-	rc, err := src.Open(chunkID)
+	var rc io.ReadCloser
+	var err error
+	if cs, ok := src.(ContextSource); ok {
+		rc, err = cs.OpenContext(ctx, chunkID)
+	} else {
+		rc, err = src.Open(chunkID)
+	}
 	if err != nil {
 		return nil, err
 	}
 	defer rc.Close()
-	f, err := mseed.Read(rc)
+	var body io.Reader = rc
+	if act := injectorFor(src).Check(fault.PointDecode); act.Err != nil || act.Delay > 0 || act.Corrupt {
+		if err := act.Wait(ctx); err != nil {
+			return nil, err
+		}
+		if act.Err != nil {
+			return nil, fmt.Errorf("registrar: chunk-access %d: %w", chunkID, act.Err)
+		}
+		if act.Corrupt {
+			body = fault.CorruptReader(body, act.CorruptSeed)
+		}
+	}
+	f, err := mseed.Read(body)
 	if err != nil {
 		return nil, fmt.Errorf("registrar: chunk-access %d: %w", chunkID, err)
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"sommelier/internal/engine"
+	"sommelier/internal/registrar"
 	"sommelier/internal/sqlparse"
 	"sommelier/internal/storage"
 )
@@ -89,6 +90,7 @@ type Server struct {
 	failed    atomic.Int64
 	rejected  atomic.Int64
 	streamed  atomic.Int64
+	degraded  atomic.Int64
 	inFlight  atomic.Int64
 	closed    atomic.Bool
 }
@@ -179,6 +181,11 @@ type QueryRequest struct {
 	// newline-delimited JSON) or "columnar" (the binary columnar format
 	// of wire.go, which implies Stream).
 	Format string `json:"format,omitempty"`
+	// Degraded overrides the database's degraded-mode default for this
+	// request: true accepts a partial result (with per-chunk warnings)
+	// when chunk fetches exhaust their retries, false demands strict
+	// fail-fast. Omitted defers to the server's -degraded default.
+	Degraded *bool `json:"degraded,omitempty"`
 }
 
 // QueryStats mirrors the executor's per-query statistics.
@@ -198,6 +205,16 @@ type QueryStats struct {
 	// PlanCacheHit marks that the compiled plan came from the cache.
 	CompileUS    int64 `json:"compile_us"`
 	PlanCacheHit bool  `json:"plan_cache_hit"`
+	// TimeoutMS is the effective deadline this request ran under (the
+	// requested timeout_ms, the server default when none was sent, or
+	// the server cap); TimeoutCapped marks that the requested value
+	// exceeded the cap and was clamped.
+	TimeoutMS     int64 `json:"timeout_ms"`
+	TimeoutCapped bool  `json:"timeout_capped,omitempty"`
+	// Degraded marks a partial result: ChunksSkipped chunks were
+	// unavailable and the response carries one warning for each.
+	Degraded      bool `json:"degraded,omitempty"`
+	ChunksSkipped int  `json:"chunks_skipped,omitempty"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -206,6 +223,9 @@ type QueryResponse struct {
 	Rows     [][]any    `json:"rows"`
 	RowCount int        `json:"row_count"`
 	Stats    QueryStats `json:"stats"`
+	// Warnings is present only on degraded results: one entry per
+	// chunk the query proceeded without.
+	Warnings []engine.Warning `json:"warnings,omitempty"`
 }
 
 // errorResponse is every non-2xx body. Position (byte offset into the
@@ -241,15 +261,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\""})
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "timeout_ms must be non-negative"})
+		return
+	}
 	timeout := s.cfg.DefaultTimeout
+	capped := false
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 		if timeout > s.cfg.MaxTimeout {
 			timeout = s.cfg.MaxTimeout
+			capped = true
 		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	if req.Degraded != nil {
+		ctx = engine.WithDegraded(ctx, *req.Degraded)
+	}
 
 	s.received.Add(1)
 	// JSON numbers arrive as float64; integral values mean integers
@@ -272,7 +301,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// handler parks until the response is fully written (or until
 		// the job dies in the queue).
 		s.streamed.Add(1)
-		j.stream = func() { s.streamQuery(ctx, w, req) }
+		j.stream = func() { s.streamQuery(ctx, w, req, timeout, capped) }
 	}
 	select {
 	case s.jobs <- j:
@@ -293,7 +322,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.completed.Add(1)
-	writeJSON(w, http.StatusOK, toResponse(out.res, time.Since(t0)))
+	if len(out.res.Warnings) > 0 {
+		s.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, toResponse(out.res, time.Since(t0), timeout, capped))
 }
 
 // errorStatus classifies a query error: deadline and cancellation get
@@ -326,7 +358,7 @@ func errorStatus(err error) int {
 
 // toResponse converts an engine result to the wire shape, releasing the
 // result's pooled batch memory once the rows are rendered.
-func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
+func toResponse(res *engine.Result, elapsed, timeout time.Duration, capped bool) QueryResponse {
 	flat := res.Rel.Flatten()
 	rows := make([][]any, flat.Len())
 	for ri := 0; ri < flat.Len(); ri++ {
@@ -341,13 +373,14 @@ func toResponse(res *engine.Result, elapsed time.Duration) QueryResponse {
 		Columns:  res.Names,
 		Rows:     rows,
 		RowCount: flat.Len(),
-		Stats:    toStats(res, elapsed),
+		Stats:    toStats(res, elapsed, timeout, capped),
+		Warnings: res.Warnings,
 	}
 }
 
 // toStats converts the engine's per-query statistics to the wire
 // shape; shared by the materialized response and the streaming footer.
-func toStats(res *engine.Result, elapsed time.Duration) QueryStats {
+func toStats(res *engine.Result, elapsed, timeout time.Duration, capped bool) QueryStats {
 	st := res.Stats
 	return QueryStats{
 		QueryType:      res.QueryType,
@@ -363,6 +396,10 @@ func toStats(res *engine.Result, elapsed time.Duration) QueryStats {
 		DMdComputed:    res.DMd.Computed,
 		CompileUS:      res.Compile.Microseconds(),
 		PlanCacheHit:   res.PlanCacheHit,
+		TimeoutMS:      timeout.Milliseconds(),
+		TimeoutCapped:  capped,
+		Degraded:       len(res.Warnings) > 0,
+		ChunksSkipped:  st.ChunksSkipped,
 	}
 }
 
@@ -395,7 +432,13 @@ type StatsResponse struct {
 	Failed     int64  `json:"failed"`
 	Rejected   int64  `json:"rejected"`
 	Streamed   int64  `json:"streamed"`
-	Cache      struct {
+	// Degraded counts completed queries that returned partial results.
+	Degraded int64 `json:"degraded"`
+	// Source is the chunk source's reliability snapshot (circuit
+	// breakers, quarantine, retry counters) when the source tracks one
+	// (remote HTTP archives do); absent for local repositories.
+	Source *registrar.Health `json:"source,omitempty"`
+	Cache  struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
@@ -428,6 +471,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Failed = s.failed.Load()
 	resp.Rejected = s.rejected.Load()
 	resp.Streamed = s.streamed.Load()
+	resp.Degraded = s.degraded.Load()
+	resp.Source = s.db.SourceHealth()
 	cs := s.db.CacheStats()
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses

@@ -39,14 +39,14 @@ type streamEncoder interface {
 	// that, errors can still use the ordinary JSON error envelope.
 	started() bool
 	rowCount() int
-	finish(stats QueryStats)
+	finish(stats QueryStats, warnings []engine.Warning)
 	fail(err error)
 }
 
 // streamQuery executes one streaming request. It runs on a worker
 // goroutine (the handler goroutine is parked on the job's resp channel
 // until this returns, so the ResponseWriter has exactly one user).
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req QueryRequest) {
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req QueryRequest, timeout time.Duration, capped bool) {
 	var enc streamEncoder
 	if req.Format == FormatColumnar {
 		enc = newColumnarSink(w)
@@ -65,7 +65,10 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req Que
 		return
 	}
 	s.completed.Add(1)
-	enc.finish(toStats(res, time.Since(t0)))
+	if len(res.Warnings) > 0 {
+		s.degraded.Add(1)
+	}
+	enc.finish(toStats(res, time.Since(t0), timeout, capped), res.Warnings)
 	res.Release()
 }
 
@@ -103,8 +106,9 @@ type ndjsonRows struct {
 }
 
 type ndjsonFooter struct {
-	RowCount int        `json:"row_count"`
-	Stats    QueryStats `json:"stats"`
+	RowCount int              `json:"row_count"`
+	Stats    QueryStats       `json:"stats"`
+	Warnings []engine.Warning `json:"warnings,omitempty"`
 }
 
 // begin commits the 200 status and writes the header line on first
@@ -152,11 +156,11 @@ func (s *ndjsonSink) flush() {
 	}
 }
 
-func (s *ndjsonSink) finish(stats QueryStats) {
+func (s *ndjsonSink) finish(stats QueryStats, warnings []engine.Warning) {
 	if err := s.begin(); err != nil {
 		return
 	}
-	_ = s.enc.Encode(ndjsonFooter{RowCount: s.rows, Stats: stats})
+	_ = s.enc.Encode(ndjsonFooter{RowCount: s.rows, Stats: stats, Warnings: warnings})
 	s.flush()
 }
 

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"time"
 
+	"sommelier/internal/engine"
 	"sommelier/internal/storage"
 )
 
@@ -219,16 +220,17 @@ func (s *columnarSink) flush() error {
 
 // columnarFooter is the 'F' record payload.
 type columnarFooter struct {
-	RowCount int        `json:"row_count"`
-	Stats    QueryStats `json:"stats"`
+	RowCount int              `json:"row_count"`
+	Stats    QueryStats       `json:"stats"`
+	Warnings []engine.Warning `json:"warnings,omitempty"`
 }
 
 // finish writes the terminal 'F' record.
-func (s *columnarSink) finish(stats QueryStats) {
+func (s *columnarSink) finish(stats QueryStats, warnings []engine.Warning) {
 	if err := s.begin(); err != nil {
 		return
 	}
-	payload, err := json.Marshal(columnarFooter{RowCount: s.rows, Stats: stats})
+	payload, err := json.Marshal(columnarFooter{RowCount: s.rows, Stats: stats, Warnings: warnings})
 	if err != nil {
 		return
 	}
@@ -259,6 +261,8 @@ type ColumnarResult struct {
 	// in an error record instead.
 	RowCount int
 	Stats    QueryStats
+	// Warnings are the degraded-mode warnings from the 'F' footer, if any.
+	Warnings []engine.Warning
 	// Err is the 'E' record message, "" on success.
 	Err string
 }
@@ -321,7 +325,7 @@ func DecodeColumnar(r io.Reader) (*ColumnarResult, error) {
 			if err := json.Unmarshal([]byte(payload), &f); err != nil {
 				return nil, fmt.Errorf("server: columnar footer: %w", err)
 			}
-			out.RowCount, out.Stats = f.RowCount, f.Stats
+			out.RowCount, out.Stats, out.Warnings = f.RowCount, f.Stats, f.Warnings
 			return out, nil
 		case 'E':
 			msg, err := readWireString(br)
