@@ -58,7 +58,8 @@ bench:
 ## BENCH_robustness.json (cold mixed-bag p50/p99 clean vs fault-armed
 ## vs 1% injected faults, degraded-result rate, chunks skipped).
 ## BENCH_selection.json is the frozen pre-parallelism baseline — do not
-## overwrite it.
+## overwrite it. BENCH_coldstart.json runs at a larger scale factor so
+## the cold-start archive tax dominates fixed process overheads.
 bench-json:
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -json BENCH_parallel.json
 	@cat BENCH_parallel.json
@@ -70,6 +71,8 @@ bench-json:
 	@cat BENCH_streaming.json
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -robustness-json BENCH_robustness.json
 	@cat BENCH_robustness.json
+	$(GO) run ./cmd/benchrunner -sf 3 -basedays 2 -samples 60000 -coldstart-json BENCH_coldstart.json
+	@cat BENCH_coldstart.json
 
 ## bench-micro runs the operator and storage microbenchmarks with
 ## allocation counts; compare against a baseline with benchstat.

@@ -41,6 +41,7 @@ func main() {
 	memoryPath := flag.String("memory-json", "", "write memory metrics (micro allocs/op, heap+GC over the 48-query bag, hot-query p50/p99 at 1/16 clients) as JSON to this path and exit")
 	streamingPath := flag.String("streaming-json", "", "write streaming metrics (time-to-first-row and peak heap streaming vs materialized, LIMIT-10 scan speedup, top-k pushdown) as JSON to this path and exit")
 	robustnessPath := flag.String("robustness-json", "", "write robustness metrics (mixed-bag p50/p99 clean vs fault-armed vs 1% faults, degraded-result rate, chunks skipped) as JSON to this path and exit")
+	coldstartPath := flag.String("coldstart-json", "", "write cold-start metrics (open + 48-query bag cold vs warm restart over the same cache dir, archive fetch counts, speedup) as JSON to this path and exit")
 	flag.Parse()
 
 	dir := *work
@@ -63,6 +64,13 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
 	}
 
+	if *coldstartPath != "" {
+		if err := experiments.WriteColdstartJSON(cfg, *coldstartPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *coldstartPath)
+		return
+	}
 	if *robustnessPath != "" {
 		if err := experiments.WriteRobustnessJSON(cfg, *robustnessPath); err != nil {
 			fatal(err)

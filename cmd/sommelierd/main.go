@@ -63,6 +63,8 @@ type options struct {
 	maxTimeout  time.Duration
 	cacheBytes  int64
 	cachePolicy string
+	cacheDir    string
+	diskCacheB  int64
 	maxPar      int
 	maxQueryB   int64
 	genDays     int
@@ -92,6 +94,8 @@ func main() {
 	flag.DurationVar(&o.maxTimeout, "max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
 	flag.StringVar(&o.cachePolicy, "cache-policy", "lru", "recycler replacement policy: lru, cost-aware")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persistent disk cache tier directory (lazy approach): evicted chunks spill here and restarts are warm; empty = RAM-only")
+	flag.Int64Var(&o.diskCacheB, "disk-cache-bytes", 0, "disk tier capacity in bytes (0 = unbounded)")
 	flag.IntVar(&o.maxPar, "max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
 	flag.Int64Var(&o.maxQueryB, "max-query-bytes", 0, "per-query memory ceiling on materialized bytes; exceeding it fails the query with 413 (0 = unlimited)")
 	flag.IntVar(&o.genDays, "gen-days", 2, "days of synthetic data when generating a demo repo")
@@ -137,14 +141,16 @@ func run(o options) error {
 		return fmt.Errorf("unknown -cache-policy %q", o.cachePolicy)
 	}
 	cfg := engine.Config{
-		Approach:      registrar.Approach(o.approach),
-		CacheBytes:    o.cacheBytes,
-		CachePolicy:   policy,
-		MaxParallel:   o.maxPar,
-		MaxQueryBytes: o.maxQueryB,
-		Degraded:      o.degraded,
-		Faults:        o.faults,
-		FaultSeed:     o.faultSeed,
+		Approach:       registrar.Approach(o.approach),
+		CacheBytes:     o.cacheBytes,
+		CachePolicy:    policy,
+		CacheDir:       o.cacheDir,
+		DiskCacheBytes: o.diskCacheB,
+		MaxParallel:    o.maxPar,
+		MaxQueryBytes:  o.maxQueryB,
+		Degraded:       o.degraded,
+		Faults:         o.faults,
+		FaultSeed:      o.faultSeed,
 	}
 
 	t0 := time.Now()
@@ -203,8 +209,12 @@ func run(o options) error {
 		return err
 	}
 	rep := db.Report()
-	log.Printf("registered %s (%s): %d files, %d segments in %v",
-		origin, o.approach, rep.Files, rep.Segments, time.Since(t0).Round(time.Millisecond))
+	how := "cold"
+	if db.WarmStart() {
+		how = "warm restart"
+	}
+	log.Printf("registered %s (%s, %s): %d files, %d segments in %v",
+		origin, o.approach, how, rep.Files, rep.Segments, time.Since(t0).Round(time.Millisecond))
 	if o.degraded {
 		log.Printf("degraded mode is the server default: partial results carry warnings")
 	}
@@ -239,6 +249,13 @@ func run(o options) error {
 		return err
 	}
 	svc.Close()
+	// After the drain: flush the working set to the disk tier and
+	// persist the warm-restart snapshots (no-op without -cache-dir).
+	if err := db.Close(); err != nil {
+		log.Printf("cache close: %v", err)
+	} else if o.cacheDir != "" {
+		log.Printf("warm-restart state saved under %s", o.cacheDir)
+	}
 	log.Printf("bye")
 	return nil
 }

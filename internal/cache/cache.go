@@ -40,6 +40,14 @@ type entry struct {
 	loadCost time.Duration
 	hits     atomic.Int64
 	lastUsed atomic.Int64 // logical clock
+
+	// Intrusive LRU list linkage, guarded by the recycler write lock.
+	// stamp records lastUsed as of the entry's most recent reposition:
+	// lastUsed > stamp means the entry was touched (lock-free, by
+	// Contains) since it was placed, and deserves a second chance
+	// before eviction.
+	prev, next *entry
+	stamp      int64
 }
 
 // Recycler is a byte-capacity bounded cache of chunk IDs. The chunk
@@ -52,10 +60,18 @@ type entry struct {
 // read under an RWMutex read lock, and hit/miss counters plus recency
 // (a logical clock stamped onto the entry) are plain atomics. Only
 // structural changes — admission, eviction, drops — serialize on the
-// write lock. Recency ordering lives in the per-entry timestamps
-// instead of a linked list, which an exclusive-locked move-to-front
-// would otherwise serialize; the eviction scan picks the minimum
-// timestamp, which is exactly the LRU victim.
+// write lock.
+//
+// Recency is two-level: Contains stamps a logical clock onto the entry
+// with plain atomics (an exclusive-locked move-to-front would
+// serialize the hot path), while an intrusive doubly-linked list —
+// maintained only under the write lock, where structural changes
+// already serialize — keeps entries in approximate recency order. LRU
+// victim selection pops the list tail and lazily repositions entries
+// whose atomic stamp outran their list position (a second chance),
+// giving amortized O(1) eviction; before the list, every eviction
+// scanned all entries for the minimum timestamp, a cost that grew with
+// cache size exactly when the disk tier raises eviction churn.
 type Recycler struct {
 	mu       sync.RWMutex
 	capacity int64
@@ -63,6 +79,10 @@ type Recycler struct {
 	policy   Policy
 	entries  map[int64]*entry
 	onEvict  func(chunkID int64)
+
+	// LRU list: head is most recently positioned, tail the eviction
+	// candidate. Guarded by mu (write lock).
+	lruHead, lruTail *entry
 
 	clock     atomic.Int64
 	hits      atomic.Int64
@@ -126,12 +146,15 @@ func (r *Recycler) Admit(chunkID int64, bytes int64, loadCost time.Duration) boo
 		e.bytes = bytes
 		e.loadCost = loadCost
 		r.touch(e)
+		r.unlinkLocked(e)
+		r.pushFrontLocked(e)
 		r.evictOverflowLocked(chunkID)
 		return true
 	}
 	e := &entry{id: chunkID, bytes: bytes, loadCost: loadCost}
 	e.lastUsed.Store(r.clock.Add(1))
 	r.entries[chunkID] = e
+	r.pushFrontLocked(e)
 	r.used += bytes
 	r.evictOverflowLocked(chunkID)
 	_, stillThere := r.entries[chunkID]
@@ -170,30 +193,71 @@ func (r *Recycler) victimLocked(pinned int64) *entry {
 				worst, worstScore = e, score
 			}
 		}
+		// CostAware scores every entry, so it keeps the O(resident
+		// chunks) scan; only the default LRU policy gets the list-tail
+		// fast path below.
 		return worst
-	// Both policies scan the entries for their victim: O(resident
-	// chunks) per eviction, under the write lock. That trades the old
-	// list's O(1) tail pop for a lock-free Contains — the right side of
-	// the bargain here, because evictions happen only on admissions
-	// that overflow capacity while Contains runs per chunk per query,
-	// and the entry count (whole cached chunks) stays in the thousands
-	// at most.
-	default: // LRU: the entry with the oldest recency stamp.
-		var oldest *entry
-		var oldestUsed int64
-		for _, e := range r.entries {
-			if e.id == pinned {
+	default:
+		// LRU: pop the list tail, giving a second chance (reposition at
+		// the front) to entries whose lock-free recency stamp outran
+		// their list position. Amortized O(1): each reposition pays for
+		// itself by recording the stamp it honored. The iteration bound
+		// only guards against the pathological case of every entry being
+		// touched continuously while we hold the write lock.
+		for i, limit := 0, 2*len(r.entries)+2; i < limit; i++ {
+			e := r.lruTail
+			if e == nil {
+				return nil
+			}
+			if e.id == pinned || e.lastUsed.Load() > e.stamp {
+				r.unlinkLocked(e)
+				r.pushFrontLocked(e)
 				continue
 			}
-			if u := e.lastUsed.Load(); oldest == nil || u < oldestUsed {
-				oldest, oldestUsed = e, u
+			return e
+		}
+		for e := r.lruTail; e != nil; e = e.prev {
+			if e.id != pinned {
+				return e
 			}
 		}
-		return oldest
+		return nil
 	}
 }
 
+// pushFrontLocked links e at the list head and records the recency
+// stamp the position reflects. Caller holds the write lock; e must not
+// be linked.
+func (r *Recycler) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = r.lruHead
+	if r.lruHead != nil {
+		r.lruHead.prev = e
+	} else {
+		r.lruTail = e
+	}
+	r.lruHead = e
+	e.stamp = e.lastUsed.Load()
+}
+
+// unlinkLocked removes e from the list. Caller holds the write lock;
+// e must be linked.
+func (r *Recycler) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		r.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		r.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
 func (r *Recycler) removeLocked(e *entry) {
+	r.unlinkLocked(e)
 	delete(r.entries, e.id)
 	r.used -= e.bytes
 }

@@ -1,0 +1,520 @@
+package cache
+
+// DiskTier is the second level of the cache hierarchy: decoded chunks
+// evicted from the RAM recycler spill to a single-writer segment file
+// per table, and cache misses promote blocks back to RAM instead of
+// re-reading raw miniSEED from the archive.
+//
+// Segment file layout (<dir>/<table>.seg):
+//
+//	header   "SOMS" + version byte
+//	blocks   [8B chunkID][4B bodyLen][4B CRC32(body)][body]...
+//	footer   "SOMF" + uvarint nBlocks
+//	         + per block: varint chunkID, uvarint off, uvarint len, 4B CRC
+//	         + 4B CRC32(footer payload)
+//	trailer  [8B footer offset]["SOME"]
+//
+// Bodies are storage.EncodeRelation block bodies (zigzag-varint
+// ints/times, raw little-endian float64, embedded per-batch zone
+// maps). All fixed-width integers are little-endian.
+//
+// Crash safety is detect-and-quarantine: the footer is written only by
+// a clean Close, and Open re-verifies the trailer magic, the footer
+// CRC and every block CRC before trusting a byte. Any failure — a
+// truncated tail from a kill during spill, a flipped bit in a block
+// body, a missing footer — renames the whole file to <name>.corrupt
+// and starts fresh; the data is simply refetched from the archive
+// tier, so corruption can cost performance but never correctness. A
+// block whose CRC fails at promote time (bit rot after open) is
+// dropped from the index the same way, at block granularity.
+//
+// Spills are asynchronous: the recycler's eviction callback runs under
+// the recycler lock, so Spill only enqueues (relation references stay
+// valid — chunk relations are immutable) and a single background
+// writer goroutine encodes and appends. The queue is bounded and
+// lossy: a full queue refuses the spill rather than stalling eviction,
+// which is always safe — a refused block just stays archive-only.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sommelier/internal/storage"
+)
+
+const (
+	segMagic       = "SOMS"
+	segFooterMagic = "SOMF"
+	segTrailMagic  = "SOME"
+	segVersion     = 1
+
+	segHeaderLen  = 5  // magic + version
+	blockHdrLen   = 16 // chunkID + bodyLen + CRC
+	segTrailerLen = 12 // footer offset + trailer magic
+
+	// spillQueueLen bounds the eviction→writer queue; overflow refuses
+	// the spill (counted) instead of blocking the recycler lock.
+	spillQueueLen = 256
+)
+
+// DiskTierStats is a point-in-time snapshot of the tier counters,
+// surfaced on GET /stats as "disk_cache".
+type DiskTierStats struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Spills          int64 `json:"spills"`
+	SpillRefused    int64 `json:"spill_refused"`
+	Promotes        int64 `json:"promotes"`
+	CorruptBlocks   int64 `json:"corrupt_blocks"`
+	CorruptSegments int64 `json:"corrupt_segments"`
+	BytesUsed       int64 `json:"bytes_used"`
+	Blocks          int64 `json:"blocks"`
+}
+
+type blockMeta struct {
+	off    int64
+	length int64
+	crc    uint32
+}
+
+type spillReq struct {
+	id  int64
+	rel *storage.Relation
+}
+
+// DiskTier is one table's segment file plus its in-memory block index.
+// Safe for concurrent use: promotes read via ReadAt under an RLock'd
+// index while the writer goroutine appends.
+type DiskTier struct {
+	path     string
+	capacity int64 // ≤0: unbounded
+
+	mu        sync.Mutex // guards index, writeOff, f (writes), flags
+	index     map[int64]blockMeta
+	inflight  map[int64]bool // queued but not yet written
+	writeOff  int64
+	f         *os.File
+	accepting bool // false once Close begins: new spills are refused
+	closed    bool
+
+	queue   chan spillReq
+	pending sync.WaitGroup
+
+	hits, misses, spills, spillRefused   atomic.Int64
+	promotes, corruptBlocks, corruptSegs atomic.Int64
+}
+
+// OpenDiskTier opens (or creates) the segment file for table in dir.
+// An existing file is fully verified — header, trailer, footer CRC and
+// every block CRC — and quarantined to <file>.corrupt on any failure,
+// so a hostile or half-written segment can never serve data. capBytes
+// bounds the file size (≤0 = unbounded); blocks that would exceed it
+// are refused.
+func OpenDiskTier(dir, table string, capBytes int64) (*DiskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dt := &DiskTier{
+		path:      filepath.Join(dir, table+".seg"),
+		capacity:  capBytes,
+		index:     map[int64]blockMeta{},
+		inflight:  map[int64]bool{},
+		queue:     make(chan spillReq, spillQueueLen),
+		accepting: true,
+	}
+	if err := dt.openFile(); err != nil {
+		return nil, err
+	}
+	go dt.writer()
+	return dt, nil
+}
+
+// openFile validates any existing segment and leaves dt.f positioned
+// for appends (the footer region, if any, will be overwritten and
+// rewritten at Close).
+func (dt *DiskTier) openFile() error {
+	if st, err := os.Stat(dt.path); err == nil && st.Size() > 0 {
+		index, dataEnd, verr := verifySegment(dt.path)
+		if verr != nil {
+			dt.corruptSegs.Add(1)
+			if err := os.Rename(dt.path, dt.path+".corrupt"); err != nil {
+				return fmt.Errorf("cache: quarantining %s: %w", dt.path, err)
+			}
+		} else {
+			f, err := os.OpenFile(dt.path, os.O_RDWR, 0o644)
+			if err != nil {
+				return err
+			}
+			if err := f.Truncate(dataEnd); err != nil {
+				f.Close()
+				return err
+			}
+			dt.f, dt.index, dt.writeOff = f, index, dataEnd
+			return nil
+		}
+	}
+	f, err := os.OpenFile(dt.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := append([]byte(segMagic), segVersion)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return err
+	}
+	dt.f, dt.writeOff = f, segHeaderLen
+	return nil
+}
+
+// verifySegment reads a segment end to end: trailer magic, footer CRC,
+// then every block body against its indexed CRC. It returns the block
+// index and the end of the block region (= footer offset).
+func verifySegment(path string) (map[int64]blockMeta, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := st.Size()
+	if size < segHeaderLen+segTrailerLen {
+		return nil, 0, fmt.Errorf("segment too short (%d bytes)", size)
+	}
+	hdr := make([]byte, segHeaderLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, 0, err
+	}
+	if string(hdr[:4]) != segMagic || hdr[4] != segVersion {
+		return nil, 0, fmt.Errorf("bad segment header")
+	}
+	trail := make([]byte, segTrailerLen)
+	if _, err := f.ReadAt(trail, size-segTrailerLen); err != nil {
+		return nil, 0, err
+	}
+	if string(trail[8:]) != segTrailMagic {
+		return nil, 0, fmt.Errorf("missing footer (no trailer magic)")
+	}
+	footOff := int64(binary.LittleEndian.Uint64(trail[:8]))
+	if footOff < segHeaderLen || footOff > size-segTrailerLen {
+		return nil, 0, fmt.Errorf("footer offset out of range")
+	}
+	foot := make([]byte, size-segTrailerLen-footOff)
+	if _, err := f.ReadAt(foot, footOff); err != nil {
+		return nil, 0, err
+	}
+	if len(foot) < len(segFooterMagic)+4 || string(foot[:4]) != segFooterMagic {
+		return nil, 0, fmt.Errorf("bad footer magic")
+	}
+	payload, crcBytes := foot[:len(foot)-4], foot[len(foot)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, 0, fmt.Errorf("footer CRC mismatch")
+	}
+	// Parse footer entries.
+	rd := payload[4:]
+	n, sz := binary.Uvarint(rd)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("bad footer count")
+	}
+	rd = rd[sz:]
+	index := make(map[int64]blockMeta, n)
+	for i := uint64(0); i < n; i++ {
+		id, s1 := binary.Varint(rd)
+		if s1 <= 0 {
+			return nil, 0, fmt.Errorf("bad footer entry")
+		}
+		rd = rd[s1:]
+		off, s2 := binary.Uvarint(rd)
+		if s2 <= 0 {
+			return nil, 0, fmt.Errorf("bad footer entry")
+		}
+		rd = rd[s2:]
+		length, s3 := binary.Uvarint(rd)
+		if s3 <= 0 {
+			return nil, 0, fmt.Errorf("bad footer entry")
+		}
+		rd = rd[s3:]
+		if len(rd) < 4 {
+			return nil, 0, fmt.Errorf("bad footer entry")
+		}
+		crc := binary.LittleEndian.Uint32(rd)
+		rd = rd[4:]
+		if int64(off)+int64(length) > footOff {
+			return nil, 0, fmt.Errorf("block beyond footer")
+		}
+		index[id] = blockMeta{off: int64(off), length: int64(length), crc: crc}
+	}
+	if len(rd) != 0 {
+		return nil, 0, fmt.Errorf("trailing bytes in footer")
+	}
+	// Verify every block body: a flipped byte anywhere is caught here,
+	// before the tier serves a single promote.
+	body := make([]byte, 0)
+	for id, bm := range index {
+		if int64(cap(body)) < bm.length {
+			body = make([]byte, bm.length)
+		}
+		body = body[:bm.length]
+		if _, err := f.ReadAt(body, bm.off); err != nil {
+			return nil, 0, fmt.Errorf("block %d: %w", id, err)
+		}
+		if crc32.ChecksumIEEE(body) != bm.crc {
+			return nil, 0, fmt.Errorf("block %d: body CRC mismatch", id)
+		}
+	}
+	return index, footOff, nil
+}
+
+// Contains reports whether a block for chunkID is on disk (or queued).
+func (dt *DiskTier) Contains(chunkID int64) bool {
+	if dt == nil {
+		return false
+	}
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	_, ok := dt.index[chunkID]
+	return ok || dt.inflight[chunkID]
+}
+
+// Spill enqueues a chunk relation for the background writer. It never
+// blocks and never does I/O: it is safe to call from the recycler's
+// eviction callback, which runs under the recycler's write lock. The
+// relation must be immutable (table chunk relations are); the tier
+// holds a reference until the write completes.
+func (dt *DiskTier) Spill(chunkID int64, rel *storage.Relation) {
+	if dt == nil || rel == nil {
+		return
+	}
+	dt.mu.Lock()
+	if !dt.accepting || dt.inflight[chunkID] {
+		dt.mu.Unlock()
+		return
+	}
+	if _, ok := dt.index[chunkID]; ok {
+		dt.mu.Unlock()
+		return // chunks are immutable per ID: already spilled
+	}
+	dt.inflight[chunkID] = true
+	dt.pending.Add(1)
+	dt.mu.Unlock()
+	select {
+	case dt.queue <- spillReq{id: chunkID, rel: rel}:
+	default:
+		dt.unqueue(chunkID)
+		dt.spillRefused.Add(1)
+	}
+}
+
+// SpillSync is the lossless variant of Spill: it blocks until the
+// block is queued (never dropping it on a full queue) and is meant for
+// the Close-time flush of the RAM-resident working set, where losing a
+// block means the next start pays the archive for hot data. It must
+// not be called from the recycler's eviction callback.
+func (dt *DiskTier) SpillSync(chunkID int64, rel *storage.Relation) {
+	if dt == nil || rel == nil {
+		return
+	}
+	dt.mu.Lock()
+	if !dt.accepting || dt.inflight[chunkID] {
+		dt.mu.Unlock()
+		return
+	}
+	if _, ok := dt.index[chunkID]; ok {
+		dt.mu.Unlock()
+		return
+	}
+	dt.inflight[chunkID] = true
+	dt.pending.Add(1)
+	dt.mu.Unlock()
+	dt.queue <- spillReq{id: chunkID, rel: rel}
+}
+
+func (dt *DiskTier) unqueue(chunkID int64) {
+	dt.mu.Lock()
+	delete(dt.inflight, chunkID)
+	dt.mu.Unlock()
+	dt.pending.Done()
+}
+
+// writer is the single goroutine that encodes and appends blocks.
+func (dt *DiskTier) writer() {
+	for req := range dt.queue {
+		dt.writeBlock(req)
+		dt.unqueue(req.id)
+	}
+}
+
+func (dt *DiskTier) writeBlock(req spillReq) {
+	body, err := storage.EncodeRelation(nil, req.rel)
+	if err != nil {
+		dt.spillRefused.Add(1)
+		return
+	}
+	blk := make([]byte, blockHdrLen+len(body))
+	binary.LittleEndian.PutUint64(blk[0:], uint64(req.id))
+	binary.LittleEndian.PutUint32(blk[8:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(blk[12:], crc32.ChecksumIEEE(body))
+	copy(blk[blockHdrLen:], body)
+
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if dt.closed {
+		return
+	}
+	if dt.capacity > 0 && dt.writeOff+int64(len(blk))+segTrailerLen > dt.capacity {
+		dt.spillRefused.Add(1)
+		return
+	}
+	if _, err := dt.f.WriteAt(blk, dt.writeOff); err != nil {
+		dt.spillRefused.Add(1)
+		return
+	}
+	dt.index[req.id] = blockMeta{
+		off:    dt.writeOff + blockHdrLen,
+		length: int64(len(body)),
+		crc:    crc32.ChecksumIEEE(body),
+	}
+	dt.writeOff += int64(len(blk))
+	dt.spills.Add(1)
+}
+
+// Promote reads, verifies and decodes one block back into a pooled
+// relation owned by the caller (nil on miss). A CRC or decode failure
+// drops the block from the index and reports a miss — the caller falls
+// through to the archive loader, so a rotten block degrades to a cache
+// miss, never to wrong data.
+func (dt *DiskTier) Promote(chunkID int64) *storage.Relation {
+	if dt == nil {
+		return nil
+	}
+	dt.mu.Lock()
+	bm, ok := dt.index[chunkID]
+	f, closed := dt.f, dt.closed
+	dt.mu.Unlock()
+	if !ok || closed {
+		dt.misses.Add(1)
+		return nil
+	}
+	body := make([]byte, bm.length)
+	if _, err := f.ReadAt(body, bm.off); err != nil {
+		// A read error (e.g. file closed under a racing shutdown) is a
+		// plain miss; only checksum/decode failures mark corruption.
+		dt.misses.Add(1)
+		return nil
+	}
+	if crc32.ChecksumIEEE(body) != bm.crc {
+		dt.dropBlock(chunkID)
+		return nil
+	}
+	rel, err := storage.DecodeRelation(body)
+	if err != nil {
+		dt.dropBlock(chunkID)
+		return nil
+	}
+	dt.hits.Add(1)
+	dt.promotes.Add(1)
+	return rel
+}
+
+func (dt *DiskTier) dropBlock(chunkID int64) {
+	dt.corruptBlocks.Add(1)
+	dt.misses.Add(1)
+	dt.mu.Lock()
+	delete(dt.index, chunkID)
+	dt.mu.Unlock()
+}
+
+// WaitIdle blocks until every queued spill has been written (or
+// refused). Tests use it to make the asynchronous spill deterministic.
+func (dt *DiskTier) WaitIdle() {
+	if dt == nil {
+		return
+	}
+	dt.pending.Wait()
+}
+
+// Stats snapshots the tier counters.
+func (dt *DiskTier) Stats() DiskTierStats {
+	if dt == nil {
+		return DiskTierStats{}
+	}
+	dt.mu.Lock()
+	bytesUsed, blocks := dt.writeOff, int64(len(dt.index))
+	dt.mu.Unlock()
+	return DiskTierStats{
+		Hits:            dt.hits.Load(),
+		Misses:          dt.misses.Load(),
+		Spills:          dt.spills.Load(),
+		SpillRefused:    dt.spillRefused.Load(),
+		Promotes:        dt.promotes.Load(),
+		CorruptBlocks:   dt.corruptBlocks.Load(),
+		CorruptSegments: dt.corruptSegs.Load(),
+		BytesUsed:       bytesUsed,
+		Blocks:          blocks,
+	}
+}
+
+// Close drains the spill queue, writes the footer index and trailer,
+// syncs and closes the file. Only a segment closed this way survives
+// the next Open's verification — an unclean shutdown falls back to a
+// cold start, never to corrupt reads.
+func (dt *DiskTier) Close() error {
+	if dt == nil {
+		return nil
+	}
+	dt.mu.Lock()
+	if dt.closed {
+		dt.mu.Unlock()
+		return nil
+	}
+	// Stop accepting first, then drain: every spill enqueued before
+	// this point still lands in the footer.
+	dt.accepting = false
+	dt.mu.Unlock()
+	dt.pending.Wait()
+	dt.mu.Lock()
+	dt.closed = true
+	close(dt.queue)
+
+	var scratch [binary.MaxVarintLen64]byte
+	foot := []byte(segFooterMagic)
+	n := binary.PutUvarint(scratch[:], uint64(len(dt.index)))
+	foot = append(foot, scratch[:n]...)
+	for id, bm := range dt.index {
+		n = binary.PutVarint(scratch[:], id)
+		foot = append(foot, scratch[:n]...)
+		n = binary.PutUvarint(scratch[:], uint64(bm.off))
+		foot = append(foot, scratch[:n]...)
+		n = binary.PutUvarint(scratch[:], uint64(bm.length))
+		foot = append(foot, scratch[:n]...)
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], bm.crc)
+		foot = append(foot, crcb[:]...)
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(foot))
+	foot = append(foot, crcb[:]...)
+	var trail [segTrailerLen]byte
+	binary.LittleEndian.PutUint64(trail[:8], uint64(dt.writeOff))
+	copy(trail[8:], segTrailMagic)
+	foot = append(foot, trail[:]...)
+
+	f, off := dt.f, dt.writeOff
+	dt.mu.Unlock()
+	if _, err := f.WriteAt(foot, off); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sommelier/internal/storage"
+)
+
+// tierRel builds a small chunk-shaped relation (time, value columns).
+func tierRel(rows int, seed int64) *storage.Relation {
+	times := make([]int64, rows)
+	vals := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		times[i] = seed + int64(i)*20_000_000
+		vals[i] = float64(i) + float64(seed)
+	}
+	rel := storage.NewRelation()
+	rel.Append(storage.NewBatch(storage.NewTimeColumn(times), storage.NewFloat64Column(vals)))
+	return rel
+}
+
+func requireSameRows(t *testing.T, want, got *storage.Relation) {
+	t.Helper()
+	if want.Rows() != got.Rows() {
+		t.Fatalf("rows = %d, want %d", got.Rows(), want.Rows())
+	}
+	wb, gb := want.Batches(), got.Batches()
+	if len(wb) != len(gb) {
+		t.Fatalf("batches = %d, want %d", len(gb), len(wb))
+	}
+	for bi := range wb {
+		for ci := range wb[bi].Cols {
+			for i := 0; i < wb[bi].Len(); i++ {
+				if storage.ValueAt(wb[bi].Cols[ci], i) != storage.ValueAt(gb[bi].Cols[ci], i) {
+					t.Fatalf("batch %d col %d row %d differs", bi, ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDiskTierSpillPromoteRoundtrip(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	rels := map[int64]*storage.Relation{}
+	for id := int64(1); id <= 5; id++ {
+		rels[id] = tierRel(200, id*1000)
+		dt.Spill(id, rels[id])
+	}
+	dt.WaitIdle()
+	for id, want := range rels {
+		if !dt.Contains(id) {
+			t.Fatalf("chunk %d not on disk after spill", id)
+		}
+		got := dt.Promote(id)
+		if got == nil {
+			t.Fatalf("promote %d missed", id)
+		}
+		requireSameRows(t, want, got)
+		got.Release()
+	}
+	s := dt.Stats()
+	if s.Spills != 5 || s.Promotes != 5 || s.Hits != 5 || s.CorruptBlocks != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if dt.Promote(99) != nil {
+		t.Fatal("promote of unknown chunk succeeded")
+	}
+}
+
+func TestDiskTierWarmReopen(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tierRel(300, 7)
+	dt.SpillSync(42, want)
+	dt.WaitIdle()
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean Close writes the footer; the next Open must serve the
+	// block without help from any other tier.
+	dt2, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt2.Close()
+	got := dt2.Promote(42)
+	if got == nil {
+		t.Fatal("block lost across reopen")
+	}
+	requireSameRows(t, want, got)
+	got.Release()
+	// And the reopened segment accepts new appends after the footer.
+	more := tierRel(100, 9)
+	dt2.SpillSync(43, more)
+	dt2.WaitIdle()
+	if !dt2.Contains(43) {
+		t.Fatal("append after reopen failed")
+	}
+}
+
+func TestDiskTierCapacityRefusal(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	dt.SpillSync(1, tierRel(4, 1))
+	dt.WaitIdle()
+	if !dt.Contains(1) {
+		t.Fatal("small block refused under capacity")
+	}
+	// A block that would exceed the cap is refused, not admitted by
+	// evicting residents: the tier is append-only.
+	dt.SpillSync(2, tierRel(100_000, 2))
+	dt.WaitIdle()
+	if dt.Contains(2) {
+		t.Fatal("oversized block admitted past capacity")
+	}
+	s := dt.Stats()
+	if s.SpillRefused == 0 {
+		t.Fatalf("stats = %+v, want a refused spill", s)
+	}
+	if !dt.Contains(1) {
+		t.Fatal("resident block lost to a refused spill")
+	}
+}
+
+// corruptTier builds a cleanly closed one-block segment and returns
+// the segment path.
+func corruptTier(t *testing.T, dir string) string {
+	t.Helper()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.SpillSync(1, tierRel(500, 3))
+	dt.WaitIdle()
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "D.seg")
+}
+
+// requireQuarantined opens the tier over a damaged segment and
+// asserts detect-and-quarantine: the file is renamed to .corrupt, the
+// tier starts fresh and serves nothing wrong.
+func requireQuarantined(t *testing.T, dir, path, kind string) {
+	t.Helper()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatalf("%s: open over damaged segment: %v", kind, err)
+	}
+	defer dt.Close()
+	if dt.Promote(1) != nil {
+		t.Fatalf("%s: promote served data from a damaged segment", kind)
+	}
+	if s := dt.Stats(); s.CorruptSegments != 1 || s.Blocks != 0 {
+		t.Fatalf("%s: stats = %+v, want 1 corrupt segment, 0 blocks", kind, s)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("%s: quarantine file missing: %v", kind, err)
+	}
+}
+
+func TestDiskTierTruncatedSegmentQuarantined(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	path := corruptTier(t, dir)
+	// A kill during spill leaves a segment without its footer: chop the
+	// tail off.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	requireQuarantined(t, dir, path, "truncated")
+}
+
+func TestDiskTierFlippedByteQuarantined(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	path := corruptTier(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flipped bit in the middle of a block body must fail the
+	// open-time CRC sweep.
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	requireQuarantined(t, dir, path, "flipped byte")
+}
+
+func TestDiskTierMissingFooterQuarantined(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	path := corruptTier(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the trailer magic: the segment looks whole but was
+	// never cleanly closed.
+	copy(data[len(data)-4:], "XXXX")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	requireQuarantined(t, dir, path, "missing footer")
+}
+
+func TestDiskTierBitRotAfterOpenDegradesToMiss(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	dt.SpillSync(1, tierRel(500, 3))
+	dt.WaitIdle()
+	// Flip a byte in the block body behind the tier's back (bit rot
+	// after the open-time verification).
+	path := filepath.Join(dir, "D.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderLen+blockHdrLen+10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Promote(1) != nil {
+		t.Fatal("promote served a rotten block")
+	}
+	s := dt.Stats()
+	if s.CorruptBlocks != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt block", s)
+	}
+	if dt.Contains(1) {
+		t.Fatal("rotten block still indexed")
+	}
+}
+
+func TestDiskTierDuplicateSpillIgnored(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	rel := tierRel(50, 1)
+	dt.SpillSync(1, rel)
+	dt.WaitIdle()
+	dt.Spill(1, rel)
+	dt.SpillSync(1, rel)
+	dt.WaitIdle()
+	if s := dt.Stats(); s.Spills != 1 {
+		t.Fatalf("spills = %d, want 1 (chunks are immutable per ID)", s.Spills)
+	}
+}
+
+func TestDiskTierSpillAfterCloseRefused(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := t.TempDir()
+	dt, err := OpenDiskTier(dir, "D", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dt.Spill(1, tierRel(10, 1)) // must not panic or enqueue
+	if dt.Contains(1) {
+		t.Fatal("spill accepted after close")
+	}
+}

@@ -178,6 +178,89 @@ func TestChaosDegradedEqualsStrictMinusSkipped(t *testing.T) {
 	}
 }
 
+// TestChaosDiskTierDegraded runs the chaos bag with every chunk
+// churning through the disk tier (tiny RAM cap + CacheDir) under
+// whatever fault schedule the environment arms — CI runs it with
+// SOMMELIER_FAULTS=cache.fill=error:0.1, so promote-path fills fail at
+// a real rate and degraded results must still equal strict-minus-
+// skipped. With no ambient schedule it is a plain tier differential.
+func TestChaosDiskTierDegraded(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := genRepo(t, 2)
+	bag := chaosBag()
+
+	// Clean RAM-only reference: explicitly fault-free, whatever the
+	// environment says, and the source of the churn cache sizing.
+	clean, err := Open(dir, Config{
+		Approach: registrar.Lazy, OptDisable: "none", Faults: "off",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range bag {
+		res, err := clean.Query(sql)
+		if err != nil {
+			t.Fatalf("reference warmup: %v", err)
+		}
+		res.Release()
+	}
+	refStats := clean.CacheStats()
+	if refStats.Chunks == 0 {
+		t.Fatal("reference run cached no chunks")
+	}
+	churnBytes := refStats.BytesUsed / int64(refStats.Chunks) * 3 / 2
+
+	// Empty Faults defers to SOMMELIER_FAULTS: this is the engine the
+	// CI fault leg actually shakes.
+	faulty, err := Open(dir, Config{
+		Approach: registrar.Lazy, OptDisable: "none",
+		Degraded: true, CacheBytes: churnBytes, CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawDegraded := false
+	// Two passes: the first spills on eviction, the second forces the
+	// fill path through Promote — where the injected faults land.
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			faulty.waitDiskIdle()
+		}
+		for qi, sql := range bag {
+			res, err := faulty.Query(sql)
+			if err != nil {
+				t.Fatalf("pass %d query %d: %v", pass, qi, err)
+			}
+			warns := res.Warnings
+			got := renderRows(res)
+			res.Release()
+			if len(warns) > 0 {
+				sawDegraded = true
+			}
+			ref, err := clean.Query(exclusionSQL(sql, warns))
+			if err != nil {
+				t.Fatalf("pass %d reference %d: %v", pass, qi, err)
+			}
+			want := renderRows(ref)
+			ref.Release()
+			if got != want {
+				t.Errorf("pass %d query %d: disk-tier degraded result diverges from strict-minus-skipped\nskipped: %+v\ngot:\n%s\nwant:\n%s",
+					pass, qi, warns, got, want)
+			}
+		}
+	}
+	if s := faulty.DiskCacheStats(); s.Spills == 0 || s.Promotes == 0 {
+		t.Fatalf("disk tier idle under chaos churn: %+v", s)
+	}
+	if faulty.FaultInjector() != nil && faulty.FaultInjector().Enabled() && !sawDegraded {
+		t.Error("armed ambient schedule never degraded a query over the disk tier")
+	}
+	if err := faulty.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestChaosStrictModeFailsUnderFaults: without degraded mode the same
 // schedule turns injected chunk faults into query errors (never
 // silently partial results).

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,18 @@ type Config struct {
 	// CachePolicy selects the replacement policy (default LRU, as in
 	// the paper; CostAware is the "smarter caching" extension).
 	CachePolicy cache.Policy
+	// CacheDir enables the persistent disk cache tier (lazy approach
+	// only): chunks evicted from RAM spill to a verified segment file
+	// here, misses promote them back without touching raw miniSEED, and
+	// Close persists the metadata snapshot, the derived-metadata view
+	// and the hot statement set so the next Open is a warm restart.
+	// Empty keeps the cache RAM-only, exactly as before.
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier's segment file; ≤0 means
+	// unbounded. Blocks that would exceed the bound are refused (they
+	// stay archive-only), never evicted — the disk tier is append-only
+	// within a process lifetime.
+	DiskCacheBytes int64
 	// MaxParallel bounds per-query parallelism: chunk-ingestion fan-out
 	// and the degree of parallelism of query execution (morsel-parallel
 	// scans, join probes, partial aggregation). 0 = adaptive (GOMAXPROCS
@@ -96,6 +109,14 @@ type DB struct {
 	dmd      *dmd.Manager
 	indexes  *registrar.Indexes
 
+	// disk is the persistent cache tier (nil without Config.CacheDir);
+	// cacheDir/fingerprint/warmStart carry the warm-restart state (see
+	// warm.go).
+	disk        *cache.DiskTier
+	cacheDir    string
+	fingerprint string
+	warmStart   bool
+
 	// optCtx/optRules parameterize the logical optimizer; plans is the
 	// bounded LRU of compiled statements keyed by normalized SQL.
 	optCtx   opt.Context
@@ -148,24 +169,66 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 	db.report.Approach = cfg.Approach
 	db.report.Files = len(repo.URIs())
 
-	// All approaches start with the Registrar: eager loading of the
-	// given metadata.
-	nSegs, mdTime, err := registrar.RegisterMetadata(db.cat, repo)
-	if err != nil {
-		return nil, err
+	// With a cache directory (lazy approach only), try a warm restart:
+	// a verified metadata snapshot replaces the per-file registration
+	// pass entirely — zero raw-miniSEED reads.
+	if cfg.Approach == registrar.Lazy && cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			return nil, err
+		}
+		db.cacheDir = cfg.CacheDir
+		db.fingerprint = snapshotFingerprint(repo.URIs())
+		// A cache dir populated from a different archive is wiped here,
+		// before the disk tier below can open its segments: chunk IDs
+		// are positional, so cross-archive reuse would be wrong data,
+		// not just a stale cache.
+		if err := ensureCacheFingerprint(db.cacheDir, db.fingerprint); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if nSegs, ok := db.loadMetaSnapshot(filepath.Join(db.cacheDir, metaSnapFile), db.fingerprint); ok {
+			db.warmStart = true
+			db.report.Segments = nSegs
+			db.report.MetadataTime = time.Since(t0)
+		}
 	}
-	db.report.Segments = nSegs
-	db.report.MetadataTime = mdTime
+	if !db.warmStart {
+		// All approaches start with the Registrar: eager loading of the
+		// given metadata.
+		nSegs, mdTime, err := registrar.RegisterMetadata(db.cat, repo)
+		if err != nil {
+			return nil, err
+		}
+		db.report.Segments = nSegs
+		db.report.MetadataTime = mdTime
+	}
 
 	switch cfg.Approach {
 	case registrar.Lazy:
+		if db.cacheDir != "" {
+			dt, err := cache.OpenDiskTier(db.cacheDir, seismic.TableD, cfg.DiskCacheBytes)
+			if err != nil {
+				return nil, err
+			}
+			db.disk = dt
+		}
 		capacity := cfg.CacheBytes
 		if capacity == 0 {
 			capacity = DefaultCacheBytes
 		}
 		if capacity > 0 {
 			d, _ := db.cat.Table(seismic.TableD)
-			db.recycler = cache.New(capacity, cfg.CachePolicy, func(id int64) { d.DropChunk(id) })
+			dt := db.disk
+			db.recycler = cache.New(capacity, cfg.CachePolicy, func(id int64) {
+				if dt != nil {
+					// Grab the relation before dropping: the reference keeps
+					// the (immutable) chunk alive while the spill is queued.
+					if rel, ok := d.Chunk(id); ok {
+						dt.Spill(id, rel)
+					}
+				}
+				d.DropChunk(id)
+			})
 		}
 		db.env = &exec.Env{
 			Catalog:     db.cat,
@@ -173,9 +236,13 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 			Loader:      repo,
 			MaxParallel: cfg.MaxParallel,
 			Recyclers:   map[string]*cache.Recycler{},
+			DiskTiers:   map[string]*cache.DiskTier{},
 		}
 		if db.recycler != nil {
 			db.env.Recyclers[seismic.TableD] = db.recycler
+		}
+		if db.disk != nil {
+			db.env.DiskTiers[seismic.TableD] = db.disk
 		}
 	case registrar.EagerCSV:
 		rows, csvBytes, toCSV, toDB, err := registrar.LoadAllCSV(db.cat, repo, csvDir)
@@ -274,6 +341,13 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 		} else {
 			db.report.Breakdown.DMdDerivation = dur
 		}
+	}
+	if db.warmStart {
+		// Best-effort warm loads: the derived-metadata view (so queries
+		// skip re-derivation) and the hot statement set (so the first
+		// requests skip compilation). Failures just mean a colder start.
+		_ = db.LoadDerived(filepath.Join(db.cacheDir, dmdSnapFile))
+		db.precompilePlans(filepath.Join(db.cacheDir, plansFile))
 	}
 	db.fillSizes()
 	return db, nil

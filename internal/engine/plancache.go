@@ -87,6 +87,22 @@ func (pc *planCache) Put(key string, c *compiled) {
 	}
 }
 
+// Keys returns the cached normalized-SQL keys, most recently used
+// first. The warm-restart machinery persists them so a restarted
+// process can pre-compile the hot statement set.
+func (pc *planCache) Keys() []string {
+	if pc.cap <= 0 {
+		return nil
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	keys := make([]string, 0, pc.ll.Len())
+	for el := pc.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}
+
 // Stats snapshots the counters.
 func (pc *planCache) Stats() PlanCacheStats {
 	st := PlanCacheStats{

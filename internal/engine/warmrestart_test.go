@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sommelier/internal/registrar"
+	"sommelier/internal/storage"
+)
+
+// warmBag is the differential query bag: T1 metadata, T2 derived
+// windows, T4 and T5 lazy-ingestion aggregates — every tier and every
+// table the cache hierarchy touches.
+func warmBag() []string {
+	q := tQueries()
+	return []string{q[1], q[2], q[4], q[5]}
+}
+
+func runWarmBag(t *testing.T, db *DB) []string {
+	t.Helper()
+	var out []string
+	for qi, sql := range warmBag() {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		out = append(out, renderRows(res))
+		res.Release()
+	}
+	return out
+}
+
+// TestTierEquivalence is the tier-differential suite: the same bag
+// over the same repository must be bitwise identical with the disk
+// tier off, with a tiny RAM cache churning every chunk through
+// spill/promote, and across a warm restart.
+func TestTierEquivalence(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := genRepo(t, 2)
+
+	// Reference: RAM-only, exactly the pre-disk-tier configuration.
+	ref := openOpt(t, dir, registrar.Lazy)
+	want := runWarmBag(t, ref)
+	// Size the churn cache off the reference run: 1.5 average chunks
+	// admits any one chunk but evicts as soon as a second arrives.
+	// (Chunk MemSize varies a little with pool slab reuse, so a
+	// hardcoded byte count is flaky under the full suite.)
+	refStats := ref.CacheStats()
+	if refStats.Chunks == 0 {
+		t.Fatal("reference run cached no chunks")
+	}
+	churnBytes := refStats.BytesUsed / int64(refStats.Chunks) * 3 / 2
+
+	t.Run("tiny-ram-churn", func(t *testing.T) {
+		// A RAM cache that holds only one chunk forces constant
+		// evict → spill → promote churn while queries are running.
+		db, err := Open(dir, Config{
+			Approach:   registrar.Lazy,
+			OptDisable: "none",
+			CacheBytes: churnBytes,
+			CacheDir:   t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runWarmBag(t, db)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("query %d diverges under churn:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+			}
+		}
+		// Let the asynchronous spills land, then run the bag again: the
+		// evicted chunks now come back through promote.
+		db.waitDiskIdle()
+		again := runWarmBag(t, db)
+		for i := range want {
+			if again[i] != want[i] {
+				t.Errorf("query %d diverges on churned re-run:\ngot:\n%s\nwant:\n%s", i, again[i], want[i])
+			}
+		}
+		// The tiny cache must actually have exercised the disk tier.
+		if s := db.DiskCacheStats(); s.Spills == 0 || s.Promotes == 0 {
+			t.Fatalf("disk tier idle under churn: %+v", s)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("warm-restart", func(t *testing.T) {
+		cacheDir := t.TempDir()
+		db, err := Open(dir, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := runWarmBag(t, db)
+		for i := range want {
+			if first[i] != want[i] {
+				t.Errorf("query %d diverges on cold tiered run", i)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		db2, err := Open(dir, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !db2.WarmStart() {
+			t.Fatal("second open did not warm-start")
+		}
+		got := runWarmBag(t, db2)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("query %d diverges across warm restart:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+			}
+		}
+		// The warm restart must have served the whole bag from local
+		// state: not a single raw-archive open.
+		if n, ok := db2.SourceFetches(); !ok || n != 0 {
+			t.Fatalf("warm restart fetched %d times from the archive (counter ok=%v), want 0", n, ok)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCacheDirBoundToArchive: a cache directory populated from one
+// archive must not serve its segments to a different archive — chunk
+// IDs are positional, so cross-archive promotion would be wrong data.
+// Re-pointing the dir wipes segments and snapshots and re-binds the
+// fingerprint sidecar.
+func TestCacheDirBoundToArchive(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	cacheDir := t.TempDir()
+
+	dirA := genRepo(t, 2)
+	db, err := Open(dirA, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWarmBag(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(cacheDir, "D.seg")); err != nil {
+		t.Fatalf("archive A left no segment: %v", err)
+	}
+
+	// Same generator, different directory: the URI list (and so the
+	// fingerprint) differs even though the bytes happen to match —
+	// exactly the case where silent reuse would go unnoticed.
+	dirB := genRepo(t, 2)
+	ref := openOpt(t, dirB, registrar.Lazy)
+	want := runWarmBag(t, ref)
+
+	db2, err := Open(dirB, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.WarmStart() {
+		t.Fatal("warm start against a different archive's cache dir")
+	}
+	got := runWarmBag(t, db2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %d wrong after re-pointing cache dir", i)
+		}
+	}
+	if s := db2.DiskCacheStats(); s.Promotes != 0 {
+		t.Fatalf("promoted %d blocks from another archive's segment", s.Promotes)
+	}
+	if n, ok := db2.SourceFetches(); !ok || n == 0 {
+		t.Fatalf("expected archive B fetches after the wipe, got %d (ok=%v)", n, ok)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dir is now bound to B: the next open warm-starts again.
+	db3, err := Open(dirB, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db3.WarmStart() {
+		t.Fatal("re-bound cache dir did not warm-start its own archive")
+	}
+	if err := db3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmRestartCorruptSegmentRefetches is the crash-safety story end
+// to end: damage the segment file between runs, and the next open must
+// quarantine it and transparently refetch from the archive — degraded
+// performance, identical answers.
+func TestWarmRestartCorruptSegmentRefetches(t *testing.T) {
+	defer storage.RequireNoLeaks(t)
+	dir := genRepo(t, 2)
+	cacheDir := t.TempDir()
+
+	ref := openOpt(t, dir, registrar.Lazy)
+	want := runWarmBag(t, ref)
+
+	db, err := Open(dir, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWarmBag(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in a block body: the open-time sweep must catch it.
+	segPath := filepath.Join(cacheDir, "D.seg")
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Config{Approach: registrar.Lazy, OptDisable: "none", CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db2.WarmStart() {
+		t.Fatal("metadata snapshot should survive a corrupt segment")
+	}
+	if s := db2.DiskCacheStats(); s.CorruptSegments != 1 {
+		t.Fatalf("disk stats = %+v, want 1 quarantined segment", s)
+	}
+	if _, err := os.Stat(segPath + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	got := runWarmBag(t, db2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %d wrong after quarantine:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+		}
+	}
+	// The data came back from the archive, not the damaged cache.
+	if n, ok := db2.SourceFetches(); !ok || n == 0 {
+		t.Fatalf("expected archive refetches after quarantine, got %d (ok=%v)", n, ok)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,6 +86,12 @@ type Env struct {
 	// a missing entry) disables caching for that table, making every
 	// lazily loaded chunk transient.
 	Recyclers map[string]*cache.Recycler
+	// DiskTiers holds the persistent second cache tier per actual-data
+	// table; nil (or a missing entry) makes every cache miss go to the
+	// archive loader. A present tier is consulted inside the chunk
+	// flight, so promotes share the singleflight dedup and the
+	// cache.fill fault point with archive loads.
+	DiskTiers map[string]*cache.DiskTier
 	// MetaIndexes holds the index-scan accelerators per metadata
 	// table, built by the eager_index investment.
 	MetaIndexes map[string][]MetaIndex
@@ -152,7 +158,10 @@ type Stats struct {
 	// ChunksSelected is the number of chunks stage one identified;
 	// ChunksLoaded of those were ingested, CacheHits were resident.
 	ChunksSelected, ChunksLoaded, CacheHits int
-	RowsLoaded                              int64
+	// ChunksPromoted counts the ChunksLoaded subset served by decoding
+	// a disk-tier block instead of fetching from the archive.
+	ChunksPromoted int
+	RowsLoaded     int64
 	// SampleFraction is 1 for exact answers; under approximative
 	// answering it is the fraction of selected chunks actually
 	// evaluated (COUNT/SUM-style aggregates scale by its inverse).
@@ -692,6 +701,9 @@ func (ex *executor) ingestSelected() error {
 			ex.pinned = append(ex.pinned, pinnedChunk{tableName: tn, id: r.id})
 			if r.loadedByMe {
 				ex.stats.ChunksLoaded++
+				if r.promoted {
+					ex.stats.ChunksPromoted++
+				}
 				ex.stats.RowsLoaded += r.rows
 				ex.loaded = append(ex.loaded, loadedChunk{
 					tableName: tn, id: r.id, bytes: r.bytes, cost: r.cost,
@@ -729,6 +741,7 @@ func (ex *executor) ingestSelected() error {
 type chunkResult struct {
 	id         int64
 	loadedByMe bool
+	promoted   bool
 	rows       int64
 	bytes      int64
 	cost       time.Duration
@@ -769,21 +782,51 @@ func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResul
 				}
 			}
 			t0 := time.Now()
-			rel, err := ex.env.Loader.LoadChunk(tn, id)
-			if err != nil {
-				return flightResult{}, err
+			// Disk tier first: a spilled block decodes straight into
+			// pooled batches, far cheaper than re-fetching and
+			// re-decoding raw miniSEED from the archive. A miss (or a
+			// corrupt block, dropped by the tier) falls through to the
+			// archive loader.
+			var rel *storage.Relation
+			promoted := false
+			if dt := ex.env.DiskTiers[tn]; dt != nil {
+				if pr := dt.Promote(id); pr != nil {
+					rel, promoted = pr, true
+				}
 			}
-			// cache.fill fault point: the chunk arrived and decoded,
-			// but fails to become resident. The loaded relation is
-			// unpooled (loader-owned) storage, so dropping it here
-			// leaks nothing.
+			if rel == nil {
+				var err error
+				rel, err = ex.env.Loader.LoadChunk(tn, id)
+				if err != nil {
+					return flightResult{}, err
+				}
+			}
+			// cache.fill fault point: the chunk arrived and decoded —
+			// from either tier — but fails to become resident. An
+			// archive-loaded relation is unpooled (loader-owned)
+			// storage, so dropping it leaks nothing; a promoted one is
+			// pooled and must go back to the pools on every error
+			// branch.
 			if act := ex.env.Faults.Check(fault.PointCacheFill); act.Err != nil || act.Delay > 0 {
 				if err := act.Wait(ex.ctx); err != nil {
+					if promoted {
+						rel.Release()
+					}
 					return flightResult{}, err
 				}
 				if act.Err != nil {
-					return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize()}, act.Err
+					rows, bytes := int64(rel.Rows()), rel.MemSize()
+					if promoted {
+						rel.Release()
+					}
+					return flightResult{rows: rows, bytes: bytes}, act.Err
 				}
+			}
+			if promoted {
+				// The relation becomes long-lived table data whose
+				// lifetime the pool cannot track: dissolve ownership
+				// before installing it.
+				rel.Disown()
 			}
 			if err := t.AppendChunk(id, rel); err != nil {
 				return flightResult{}, err
@@ -791,7 +834,7 @@ func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResul
 			if !t.Pin(id) {
 				return flightResult{}, fmt.Errorf("exec: chunk %d of %s vanished after load", id, tn)
 			}
-			return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize(), cost: time.Since(t0)}, nil
+			return flightResult{rows: int64(rel.Rows()), bytes: rel.MemSize(), cost: time.Since(t0), promoted: promoted}, nil
 		})
 		if err != nil {
 			return chunkResult{id: id, err: err, rows: res.rows, bytes: res.bytes}
@@ -800,7 +843,7 @@ func (ex *executor) acquireChunk(t *table.Table, tn string, id int64) chunkResul
 			if res.hit {
 				return chunkResult{id: id}
 			}
-			return chunkResult{id: id, loadedByMe: true, rows: res.rows, bytes: res.bytes, cost: res.cost}
+			return chunkResult{id: id, loadedByMe: true, promoted: res.promoted, rows: res.rows, bytes: res.bytes, cost: res.cost}
 		}
 		// Waiter: loop back to take our own pin on the now-resident
 		// chunk (or reload if it vanished in the meantime).

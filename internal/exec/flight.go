@@ -22,6 +22,9 @@ type flightResult struct {
 	bytes int64
 	cost  time.Duration
 	hit   bool
+	// promoted marks a load served by the disk tier (a block decode)
+	// instead of the archive loader.
+	promoted bool
 }
 
 // flightCall is one in-flight chunk load shared by its waiters.

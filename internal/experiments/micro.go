@@ -168,17 +168,22 @@ type Headline struct {
 // selection-era numbers in BENCH_selection.json stay as the historical
 // baseline): cross-query scaling of the lazy service at 1/4/16 clients
 // and intra-query speedup of the join/group-by microbenchmarks at
-// DOP = GOMAXPROCS. On a single-core host the speedups hover around
-// 1.0 — the numbers are only meaningful at GOMAXPROCS ≥ 2.
+// DOP = GOMAXPROCS.
+//
+// Bench honesty: on a single-core host a "parallel speedup" is not a
+// measurement, it is noise around 1.0 — so when GOMAXPROCS = 1 the
+// speedup fields are null and Caveat says why, instead of printing a
+// headline number that means nothing.
 type ParallelMetrics struct {
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	LazyQPS1       float64 `json:"lazy_qps_1client"`
-	LazyQPS4       float64 `json:"lazy_qps_4clients"`
-	LazyQPS16      float64 `json:"lazy_qps_16clients"`
-	Scaling4       float64 `json:"lazy_scaling_4_over_1"`
-	Scaling16      float64 `json:"lazy_scaling_16_over_1"`
-	JoinSpeedup    float64 `json:"join_parallel_speedup"`
-	GroupBySpeedup float64 `json:"groupby_parallel_speedup"`
+	GOMAXPROCS     int      `json:"gomaxprocs"`
+	LazyQPS1       float64  `json:"lazy_qps_1client"`
+	LazyQPS4       float64  `json:"lazy_qps_4clients"`
+	LazyQPS16      float64  `json:"lazy_qps_16clients"`
+	Scaling4       float64  `json:"lazy_scaling_4_over_1"`
+	Scaling16      float64  `json:"lazy_scaling_16_over_1"`
+	JoinSpeedup    *float64 `json:"join_parallel_speedup"`
+	GroupBySpeedup *float64 `json:"groupby_parallel_speedup"`
+	Caveat         string   `json:"caveat,omitempty"`
 }
 
 // CollectHeadline runs the headline experiments (Fig. 7 single-query
@@ -230,13 +235,17 @@ func CollectHeadline(cfg Config) (*Headline, error) {
 	}
 	if dop := par.GOMAXPROCS; dop > 1 {
 		if pj := JoinMicroAt(dop); pj.NsPerOp > 0 {
-			par.JoinSpeedup = h.Micro["join"].NsPerOp / pj.NsPerOp
+			s := h.Micro["join"].NsPerOp / pj.NsPerOp
+			par.JoinSpeedup = &s
 		}
 		if pg := GroupByMicroAt(dop); pg.NsPerOp > 0 {
-			par.GroupBySpeedup = h.Micro["groupby"].NsPerOp / pg.NsPerOp
+			s := h.Micro["groupby"].NsPerOp / pg.NsPerOp
+			par.GroupBySpeedup = &s
 		}
 	} else {
-		par.JoinSpeedup, par.GroupBySpeedup = 1, 1
+		// No parallel hardware, no parallel claim: leave the speedups
+		// null rather than publishing a 1.0 that looks like a result.
+		par.Caveat = "GOMAXPROCS=1: parallel speedups not measurable on this host; speedup fields are null"
 	}
 	h.Parallel = par
 	return h, nil

@@ -520,6 +520,11 @@ func (r *HTTPRepository) Health() Health {
 	}
 }
 
+// FetchCount reports how many archive request attempts were made, the
+// same counter Health exposes; the warm-restart tests assert it stays
+// zero when the disk tier and metadata snapshot serve everything.
+func (r *HTTPRepository) FetchCount() int64 { return r.fetches.Load() }
+
 // WriteIndexFile writes the index.txt listing for a local repository
 // directory so it can be served by any static HTTP server (or
 // httptest.Server in tests).

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sommelier/internal/csvio"
@@ -188,7 +189,15 @@ type Repository struct {
 	// falls back to the process environment (fault.Default). Local
 	// repositories only honor the mseed.decode point.
 	Faults *fault.Injector
+
+	// fetches counts raw archive opens (metadata registration and
+	// chunk loads alike); the warm-restart tests assert it stays zero
+	// when the disk tier and metadata snapshot serve everything.
+	fetches atomic.Int64
 }
+
+// FetchCount reports how many times the raw archive was opened.
+func (r *Repository) FetchCount() int64 { return r.fetches.Load() }
 
 // SetFaults overrides the repository's fault-injection schedule.
 func (r *Repository) SetFaults(in *fault.Injector) { r.Faults = in }
@@ -240,6 +249,7 @@ func (r *Repository) Open(chunkID int64) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.fetches.Add(1)
 	return os.Open(uri)
 }
 

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sommelier/internal/cache"
 	"sommelier/internal/engine"
 	"sommelier/internal/registrar"
 	"sommelier/internal/sqlparse"
@@ -445,6 +446,9 @@ type StatsResponse struct {
 		BytesUsed int64 `json:"bytes_used"`
 		Chunks    int   `json:"chunks"`
 	} `json:"cache"`
+	// DiskCache is the persistent cache tier's counters; absent when
+	// the server runs without -cache-dir (RAM-only cache).
+	DiskCache *cache.DiskTierStats `json:"disk_cache,omitempty"`
 	PlanCache struct {
 		Hits     int64 `json:"hits"`
 		Misses   int64 `json:"misses"`
@@ -479,6 +483,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Evictions = cs.Evictions
 	resp.Cache.BytesUsed = cs.BytesUsed
 	resp.Cache.Chunks = cs.Chunks
+	if s.db.DiskTierEnabled() {
+		ds := s.db.DiskCacheStats()
+		resp.DiskCache = &ds
+	}
 	ps := s.db.PlanCacheStats()
 	resp.PlanCache.Hits = ps.Hits
 	resp.PlanCache.Misses = ps.Misses
