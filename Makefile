@@ -56,7 +56,10 @@ bench:
 ## and peak heap streaming vs materialized, the LIMIT-10 full-scan
 ## first-row speedup, and top-k pushdown vs Sort+Limit) and
 ## BENCH_robustness.json (cold mixed-bag p50/p99 clean vs fault-armed
-## vs 1% injected faults, degraded-result rate, chunks skipped).
+## vs 1% injected faults, degraded-result rate, chunks skipped) and
+## BENCH_overload.json (goodput and admitted p50/p99 at 1x/2x/4x
+## offered load — the run FAILS unless the admission controller holds
+## the acceptance bounds, see RELIABILITY.md "Overload & admission").
 ## BENCH_selection.json is the frozen pre-parallelism baseline — do not
 ## overwrite it. BENCH_coldstart.json runs at a larger scale factor so
 ## the cold-start archive tax dominates fixed process overheads.
@@ -71,6 +74,8 @@ bench-json:
 	@cat BENCH_streaming.json
 	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -robustness-json BENCH_robustness.json
 	@cat BENCH_robustness.json
+	$(GO) run ./cmd/benchrunner -sf 1 -basedays 2 -samples 4000 -overload-json BENCH_overload.json
+	@cat BENCH_overload.json
 	$(GO) run ./cmd/benchrunner -sf 3 -basedays 2 -samples 60000 -coldstart-json BENCH_coldstart.json
 	@cat BENCH_coldstart.json
 

@@ -42,6 +42,7 @@ func main() {
 	streamingPath := flag.String("streaming-json", "", "write streaming metrics (time-to-first-row and peak heap streaming vs materialized, LIMIT-10 scan speedup, top-k pushdown) as JSON to this path and exit")
 	robustnessPath := flag.String("robustness-json", "", "write robustness metrics (mixed-bag p50/p99 clean vs fault-armed vs 1% faults, degraded-result rate, chunks skipped) as JSON to this path and exit")
 	coldstartPath := flag.String("coldstart-json", "", "write cold-start metrics (open + 48-query bag cold vs warm restart over the same cache dir, archive fetch counts, speedup) as JSON to this path and exit")
+	overloadPath := flag.String("overload-json", "", "write overload metrics (goodput and admitted p50/p99 at 1x/2x/4x offered load vs capacity, shed and error counts) as JSON to this path and exit non-zero if the acceptance checks fail")
 	flag.Parse()
 
 	dir := *work
@@ -64,6 +65,13 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, n)
 	}
 
+	if *overloadPath != "" {
+		if err := experiments.WriteOverloadJSON(cfg, *overloadPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *overloadPath)
+		return
+	}
 	if *coldstartPath != "" {
 		if err := experiments.WriteColdstartJSON(cfg, *coldstartPath); err != nil {
 			fatal(err)

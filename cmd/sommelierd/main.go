@@ -1,9 +1,12 @@
 // Command sommelierd serves SQL queries over a registered chunk
 // repository as an HTTP JSON API — the system as a service rather than
-// a library. A bounded worker pool executes queries concurrently on one
-// shared engine.DB (safe by the engine's concurrency guarantees), each
-// request carries a context deadline, and SIGINT/SIGTERM trigger a
-// graceful drain.
+// a library. An adaptive admission controller bounds how many queries
+// execute concurrently on one shared engine.DB (safe by the engine's
+// concurrency guarantees): the limit floats between -workers-min and
+// -workers-max by AIMD on observed latency, excess load queues with a
+// deadline-aware bound and sheds with 429 + Retry-After, each request
+// carries a context deadline enforced at morsel granularity, and
+// SIGINT/SIGTERM trigger a graceful drain.
 //
 // Usage:
 //
@@ -14,8 +17,9 @@
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT ...", "timeout_ms": 5000}
-//	GET  /stats    server, cache and engine counters
+//	GET  /stats    server, admission, cache and engine counters
 //	GET  /healthz  liveness probe
+//	GET  /readyz   readiness probe (503 while overloaded)
 //
 // With -pprof ADDR the standard net/http/pprof handlers are served on a
 // separate listener (GET /debug/pprof/), so CPU, heap, mutex and block
@@ -23,9 +27,11 @@
 //
 // Robustness knobs (see RELIABILITY.md): -degraded makes partial
 // results the server default when an archive chunk is unavailable,
-// -faults/-fault-seed arm the deterministic fault injector, and the
+// -faults/-fault-seed arm the deterministic fault injector, the
 // -fetch-*/-breaker-*/-quarantine-ttl flags tune the remote-archive
-// retry, circuit-breaker and quarantine policies.
+// retry, circuit-breaker and quarantine policies, and the overload
+// controls (-workers-min, -workers-max, -queue, -global-memory-bytes,
+// -governor-wait) bound concurrency and memory under hostile traffic.
 package main
 
 import (
@@ -58,6 +64,8 @@ type options struct {
 	remote      string
 	approach    string
 	workers     int
+	workersMin  int
+	workersMax  int
 	queue       int
 	timeout     time.Duration
 	maxTimeout  time.Duration
@@ -67,6 +75,8 @@ type options struct {
 	diskCacheB  int64
 	maxPar      int
 	maxQueryB   int64
+	globalMemB  int64
+	govWait     time.Duration
 	genDays     int
 	pprofAddr   string
 
@@ -88,8 +98,10 @@ func main() {
 	flag.StringVar(&o.dir, "dir", "", "repository directory (empty: generate a synthetic demo repo)")
 	flag.StringVar(&o.remote, "remote", "", "base URL of a remote HTTP chunk archive (overrides -dir)")
 	flag.StringVar(&o.approach, "approach", "lazy", "loading approach: lazy, eager_csv, eager_plain, eager_index, eager_dmd")
-	flag.IntVar(&o.workers, "workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-	flag.IntVar(&o.queue, "queue", 0, "queued query bound before 503 (0 = 4x workers)")
+	flag.IntVar(&o.workers, "workers", 0, "initial concurrent-query limit for the adaptive controller (0 = GOMAXPROCS)")
+	flag.IntVar(&o.workersMin, "workers-min", 0, "floor of the adaptive concurrency limit (0 = 1)")
+	flag.IntVar(&o.workersMax, "workers-max", 0, "ceiling of the adaptive concurrency limit (0 = 4x workers)")
+	flag.IntVar(&o.queue, "queue", 0, "queued query bound before shedding with 429 (0 = 4x workers-max)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-query timeout")
 	flag.DurationVar(&o.maxTimeout, "max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "recycler capacity in bytes (0 = default, negative = disable)")
@@ -98,6 +110,8 @@ func main() {
 	flag.Int64Var(&o.diskCacheB, "disk-cache-bytes", 0, "disk tier capacity in bytes (0 = unbounded)")
 	flag.IntVar(&o.maxPar, "max-parallel", 0, "per-query parallelism: chunk ingestion fan-out and execution DOP (0 = adaptive, 1 = serial)")
 	flag.Int64Var(&o.maxQueryB, "max-query-bytes", 0, "per-query memory ceiling on materialized bytes; exceeding it fails the query with 413 (0 = unlimited)")
+	flag.Int64Var(&o.globalMemB, "global-memory-bytes", 0, "process-wide memory governor: total bytes all in-flight queries may hold; exhaustion degrades to queueing then 429 (0 = ungoverned)")
+	flag.DurationVar(&o.govWait, "governor-wait", 0, "how long a query waits for governed memory before shedding (0 = default 100ms)")
 	flag.IntVar(&o.genDays, "gen-days", 2, "days of synthetic data when generating a demo repo")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
@@ -141,16 +155,18 @@ func run(o options) error {
 		return fmt.Errorf("unknown -cache-policy %q", o.cachePolicy)
 	}
 	cfg := engine.Config{
-		Approach:       registrar.Approach(o.approach),
-		CacheBytes:     o.cacheBytes,
-		CachePolicy:    policy,
-		CacheDir:       o.cacheDir,
-		DiskCacheBytes: o.diskCacheB,
-		MaxParallel:    o.maxPar,
-		MaxQueryBytes:  o.maxQueryB,
-		Degraded:       o.degraded,
-		Faults:         o.faults,
-		FaultSeed:      o.faultSeed,
+		Approach:          registrar.Approach(o.approach),
+		CacheBytes:        o.cacheBytes,
+		CachePolicy:       policy,
+		CacheDir:          o.cacheDir,
+		DiskCacheBytes:    o.diskCacheB,
+		MaxParallel:       o.maxPar,
+		MaxQueryBytes:     o.maxQueryB,
+		GlobalMemoryBytes: o.globalMemB,
+		GovernorWait:      o.govWait,
+		Degraded:          o.degraded,
+		Faults:            o.faults,
+		FaultSeed:         o.faultSeed,
 	}
 
 	t0 := time.Now()
@@ -219,8 +235,13 @@ func run(o options) error {
 		log.Printf("degraded mode is the server default: partial results carry warnings")
 	}
 
+	if o.globalMemB > 0 {
+		log.Printf("memory governor armed: %d bytes shared across in-flight queries", o.globalMemB)
+	}
 	svc := server.New(db, server.Config{
 		Workers:        o.workers,
+		MinWorkers:     o.workersMin,
+		MaxWorkers:     o.workersMax,
 		QueueDepth:     o.queue,
 		DefaultTimeout: o.timeout,
 		MaxTimeout:     o.maxTimeout,
@@ -231,7 +252,7 @@ func run(o options) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (POST /query, GET /stats, GET /healthz)", o.addr)
+		log.Printf("serving on %s (POST /query, GET /stats, GET /healthz, GET /readyz)", o.addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -1,0 +1,384 @@
+// Package admission is the server's front door under overload: a
+// deadline-aware FIFO queue in front of an adaptive concurrency
+// limiter. The fixed worker pool it replaces had two failure modes
+// under hostile traffic — it dispatched queries whose clients had
+// already given up, and its fixed width was wrong in both directions
+// (idle cores under a light mix, latency collapse under a heavy one).
+//
+// The limiter is AIMD on admitted-query latency against a moving
+// baseline: every completion below the threshold nudges the limit up
+// additively (+1 after ~limit completions), a completion above it cuts
+// the limit multiplicatively, clamped to [floor, ceiling]. The
+// baseline is an asymmetric EWMA — it follows improvements quickly and
+// drifts upward slowly — so sustained overload cannot talk the
+// baseline into accepting overload latency as the new normal.
+//
+// The queue is deadline-aware on both ends: a request whose expected
+// wait (queue length × average service time ÷ limit) already exceeds
+// its remaining deadline is rejected up front with a *RejectError
+// carrying a computed Retry-After, and a request whose deadline
+// expires while queued is never dispatched — the next dispatch skips
+// it and it returns its context error. Excess load therefore sheds as
+// fast 429s instead of queueing into timeouts.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Rejection reasons, surfaced in RejectError and counted separately
+// in Stats: a full queue wants a longer Retry-After than a tight
+// deadline does.
+const (
+	ReasonQueueFull = "queue full"
+	ReasonDeadline  = "deadline shorter than expected queue wait"
+)
+
+// Tuning constants. These are deliberately not configuration: they
+// encode the shape of the control loop, not its operating range (the
+// range — floor, ceiling, queue bound — is Config's).
+const (
+	// latencyFactor: a completion slower than latencyFactor × baseline
+	// is an overload signal.
+	latencyFactor = 2.0
+	// backoff is the multiplicative decrease applied to the limit on
+	// an overload signal.
+	backoff = 0.85
+	// baselineDown / baselineUp are the asymmetric EWMA gains of the
+	// latency baseline: fast toward improvements, slow toward drift.
+	baselineDown = 0.3
+	baselineUp   = 0.02
+	// svcGain smooths the average service time used for expected-wait
+	// and Retry-After computation.
+	svcGain = 0.1
+	// waitRingSize is how many queue-wait samples the p50/p99 window
+	// holds.
+	waitRingSize = 1024
+	// decreaseEvery rate-limits multiplicative decreases to one per
+	// in-flight window: a single slow burst maps to one cut, not
+	// limit-many.
+	decreaseEvery = 10 * time.Millisecond
+)
+
+// Config bounds the controller. The zero value is usable: see New.
+type Config struct {
+	// Floor and Ceiling clamp the adaptive limit. Floor <= 1 means 1;
+	// Ceiling <= 0 means 8 × Initial.
+	Floor   int
+	Ceiling int
+	// Initial is the starting concurrency limit (<= 0 = Floor, or 1).
+	Initial int
+	// MaxQueue bounds the wait queue; a full queue sheds with
+	// ReasonQueueFull. <= 0 means 4 × Ceiling.
+	MaxQueue int
+}
+
+// Controller is the admission gate. One per server; all methods are
+// safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	limit    float64 // adaptive concurrency limit, clamped to [floor, ceiling]
+	inflight int
+	queue    []*waiter // FIFO; canceled entries are skipped at dispatch
+
+	baseline float64 // AIMD latency baseline, seconds (0 = unseeded)
+	svc      float64 // EWMA of service time, seconds, for expected wait
+	lastCut  time.Time
+
+	waitRing [waitRingSize]time.Duration
+	waitN    int // total samples ever; ring index = waitN % size
+
+	admitted       int64
+	shedQueueFull  int64
+	shedDeadline   int64
+	expiredInQueue int64
+}
+
+type waiter struct {
+	ctx      context.Context
+	ch       chan struct{} // closed exactly once: on dispatch or expiry
+	err      error         // set before close when not dispatched
+	enqueued time.Time
+	done     bool // dispatched or expired (under mu)
+}
+
+// New builds a controller from cfg, applying the documented defaults.
+func New(cfg Config) *Controller {
+	if cfg.Floor < 1 {
+		cfg.Floor = 1
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = cfg.Floor
+	}
+	if cfg.Ceiling <= 0 {
+		cfg.Ceiling = 8 * cfg.Initial
+	}
+	if cfg.Ceiling < cfg.Floor {
+		cfg.Ceiling = cfg.Floor
+	}
+	if cfg.Initial < cfg.Floor {
+		cfg.Initial = cfg.Floor
+	}
+	if cfg.Initial > cfg.Ceiling {
+		cfg.Initial = cfg.Ceiling
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.Ceiling
+	}
+	return &Controller{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// Admit blocks until the request may run, returning a Ticket the
+// caller must Done exactly once, or rejects it: a *RejectError when
+// the queue is full or the deadline cannot outlast the expected wait,
+// the context's own error when it expires while queued.
+func (c *Controller) Admit(ctx context.Context) (*Ticket, error) {
+	c.mu.Lock()
+	if c.inflight < c.limitInt() && len(c.queue) == 0 {
+		c.inflight++
+		c.admitted++
+		c.recordWaitLocked(0)
+		c.mu.Unlock()
+		return &Ticket{c: c, started: time.Now()}, nil
+	}
+	// Up-front deadline check: don't queue what cannot be served in
+	// time. Skipped until the service-time estimate is seeded — with
+	// no history there is nothing principled to reject on.
+	wait := c.expectedWaitLocked()
+	if dl, ok := ctx.Deadline(); ok && wait > 0 && wait > time.Until(dl) {
+		c.shedDeadline++
+		err := &RejectError{Reason: ReasonDeadline, RetryAfter: c.retryAfterLocked(), QueueDepth: len(c.queue)}
+		c.mu.Unlock()
+		return nil, err
+	}
+	if len(c.queue) >= c.cfg.MaxQueue {
+		c.shedQueueFull++
+		err := &RejectError{Reason: ReasonQueueFull, RetryAfter: c.retryAfterLocked(), QueueDepth: len(c.queue)}
+		c.mu.Unlock()
+		return nil, err
+	}
+	w := &waiter{ctx: ctx, ch: make(chan struct{}), enqueued: time.Now()}
+	c.queue = append(c.queue, w)
+	c.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return &Ticket{c: c, started: time.Now()}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.done {
+			// Raced with dispatch: the slot is ours, the caller sees the
+			// dead context on its own next check.
+			c.mu.Unlock()
+			<-w.ch
+			if w.err != nil {
+				return nil, w.err
+			}
+			return &Ticket{c: c, started: time.Now()}, nil
+		}
+		w.done = true
+		w.err = ctx.Err()
+		c.expiredInQueue++
+		close(w.ch)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// dispatchLocked hands freed slots to queued waiters in FIFO order,
+// skipping — never dispatching — the already-dead.
+func (c *Controller) dispatchLocked() {
+	for c.inflight < c.limitInt() && len(c.queue) > 0 {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		if w.done {
+			continue // expired while queued; already notified
+		}
+		if w.ctx.Err() != nil {
+			w.done = true
+			w.err = w.ctx.Err()
+			c.expiredInQueue++
+			close(w.ch)
+			continue
+		}
+		w.done = true
+		c.inflight++
+		c.admitted++
+		c.recordWaitLocked(time.Since(w.enqueued))
+		close(w.ch)
+	}
+	if len(c.queue) == 0 {
+		// Don't let a drained queue pin its backing array.
+		c.queue = nil
+	}
+}
+
+// Ticket is one admitted request's claim on a concurrency slot.
+type Ticket struct {
+	c       *Controller
+	started time.Time
+	done    bool
+}
+
+// Done releases the slot and, unless dropped is set, feeds the
+// request's service latency to the AIMD loop. Set dropped for
+// requests that did not run to a normal completion (deadline kills,
+// client disconnects): their latency measures the client's patience,
+// not the server's speed.
+func (t *Ticket) Done(dropped bool) {
+	if t == nil || t.done {
+		return
+	}
+	t.done = true
+	d := time.Since(t.started)
+	c := t.c
+	c.mu.Lock()
+	c.inflight--
+	if !dropped {
+		c.recordLatencyLocked(d)
+	}
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// recordLatencyLocked is the AIMD control step for one completion.
+func (c *Controller) recordLatencyLocked(d time.Duration) {
+	s := d.Seconds()
+	if c.svc == 0 {
+		c.svc = s
+	} else {
+		c.svc += (s - c.svc) * svcGain
+	}
+	if c.baseline == 0 {
+		c.baseline = s
+		return
+	}
+	if s < c.baseline {
+		c.baseline += (s - c.baseline) * baselineDown
+	} else {
+		c.baseline += (s - c.baseline) * baselineUp
+	}
+	if s > c.baseline*latencyFactor {
+		if now := time.Now(); now.Sub(c.lastCut) >= decreaseEvery {
+			c.lastCut = now
+			c.limit = math.Max(float64(c.cfg.Floor), c.limit*backoff)
+		}
+		return
+	}
+	c.limit = math.Min(float64(c.cfg.Ceiling), c.limit+1/math.Max(c.limit, 1))
+}
+
+func (c *Controller) limitInt() int {
+	l := int(c.limit)
+	if l < c.cfg.Floor {
+		l = c.cfg.Floor
+	}
+	return l
+}
+
+// expectedWaitLocked estimates how long a request joining the queue
+// now would wait: everyone ahead of it served at the average service
+// time over limit-wide concurrency. Zero until latency history seeds
+// the estimate.
+func (c *Controller) expectedWaitLocked() time.Duration {
+	if c.svc == 0 {
+		return 0
+	}
+	perSlot := c.svc / float64(c.limitInt())
+	return time.Duration(float64(len(c.queue)+1) * perSlot * float64(time.Second))
+}
+
+// retryAfterLocked computes the Retry-After hint: the time for the
+// current queue to drain, floored at one second (the header's
+// resolution).
+func (c *Controller) retryAfterLocked() time.Duration {
+	ra := c.expectedWaitLocked()
+	if ra < time.Second {
+		ra = time.Second
+	}
+	return ra
+}
+
+func (c *Controller) recordWaitLocked(d time.Duration) {
+	c.waitRing[c.waitN%waitRingSize] = d
+	c.waitN++
+}
+
+// Saturated reports whether the queue has reached half its bound —
+// the /readyz signal to stop routing here before sheds start.
+func (c *Controller) Saturated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)*2 >= c.cfg.MaxQueue
+}
+
+// Stats is a snapshot of the controller for /stats.
+type Stats struct {
+	Limit          int   `json:"limit"`
+	Floor          int   `json:"floor"`
+	Ceiling        int   `json:"ceiling"`
+	InFlight       int   `json:"in_flight"`
+	Queued         int   `json:"queued"`
+	QueueCap       int   `json:"queue_cap"`
+	Admitted       int64 `json:"admitted"`
+	ShedQueueFull  int64 `json:"shed_queue_full"`
+	ShedDeadline   int64 `json:"shed_deadline"`
+	ExpiredInQueue int64 `json:"expired_in_queue"`
+	WaitP50US      int64 `json:"wait_p50_us"`
+	WaitP99US      int64 `json:"wait_p99_us"`
+	BaselineUS     int64 `json:"baseline_us"`
+}
+
+// Snapshot returns current counters and queue-wait percentiles over
+// the last waitRingSize admissions.
+func (c *Controller) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Limit:          c.limitInt(),
+		Floor:          c.cfg.Floor,
+		Ceiling:        c.cfg.Ceiling,
+		InFlight:       c.inflight,
+		Queued:         len(c.queue),
+		QueueCap:       c.cfg.MaxQueue,
+		Admitted:       c.admitted,
+		ShedQueueFull:  c.shedQueueFull,
+		ShedDeadline:   c.shedDeadline,
+		ExpiredInQueue: c.expiredInQueue,
+		BaselineUS:     int64(c.baseline * 1e6),
+	}
+	n := c.waitN
+	if n > waitRingSize {
+		n = waitRingSize
+	}
+	if n > 0 {
+		waits := make([]time.Duration, n)
+		copy(waits, c.waitRing[:n])
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		st.WaitP50US = waits[n/2].Microseconds()
+		st.WaitP99US = waits[(n*99)/100].Microseconds()
+	}
+	return st
+}
+
+// RejectError is an up-front admission rejection: the request never
+// ran and should be retried after RetryAfter (HTTP 429).
+type RejectError struct {
+	Reason     string
+	RetryAfter time.Duration
+	QueueDepth int
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("admission rejected: %s (queue depth %d, retry after %v)", e.Reason, e.QueueDepth, e.RetryAfter.Round(time.Millisecond))
+}

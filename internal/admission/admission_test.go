@@ -1,0 +1,302 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmitReleaseBasic(t *testing.T) {
+	c := New(Config{Floor: 2, Ceiling: 2, Initial: 2})
+	tk1, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Snapshot()
+	if st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	tk1.Done(false)
+	tk2.Done(false)
+	tk2.Done(false) // idempotent
+	if st := c.Snapshot(); st.InFlight != 0 {
+		t.Fatalf("in-flight after done = %d", st.InFlight)
+	}
+}
+
+func TestQueueFIFOAndDispatch(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 1, Initial: 1, MaxQueue: 8})
+	tk, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger enqueue so FIFO order is deterministic.
+			time.Sleep(time.Duration(i) * 30 * time.Millisecond)
+			tki, err := c.Admit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			tki.Done(false)
+		}(i)
+	}
+	close(start)
+	time.Sleep(150 * time.Millisecond)
+	tk.Done(false)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("dispatch order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 1, Initial: 1, MaxQueue: 1})
+	tk, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Done(false)
+	queued := make(chan error, 1)
+	go func() {
+		tkq, err := c.Admit(context.Background())
+		if err == nil {
+			tkq.Done(false)
+		}
+		queued <- err
+	}()
+	// Wait for the goroutine above to occupy the single queue slot.
+	deadline := time.Now().Add(time.Second)
+	for c.Snapshot().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_, err = c.Admit(context.Background())
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want *RejectError", err)
+	}
+	if rej.Reason != ReasonQueueFull {
+		t.Fatalf("reason = %q", rej.Reason)
+	}
+	if rej.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", rej.RetryAfter)
+	}
+	if c.Snapshot().ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d", c.Snapshot().ShedQueueFull)
+	}
+	tk.Done(false)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+func TestDeadlineUnmeetableShedsUpFront(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 1, Initial: 1, MaxQueue: 100})
+	// Seed the service-time estimate: one slow completion.
+	tk, _ := c.Admit(context.Background())
+	time.Sleep(50 * time.Millisecond)
+	tk.Done(false)
+	// Occupy the slot and some queue.
+	hold, _ := c.Admit(context.Background())
+	defer hold.Done(false)
+	for i := 0; i < 4; i++ {
+		go func() {
+			if tkq, err := c.Admit(context.Background()); err == nil {
+				tkq.Done(false)
+			}
+		}()
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.Snapshot().Queued < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Expected wait is now ≥ 5 × ~50ms; a 1ms deadline cannot make it.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := c.Admit(ctx)
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want *RejectError", err)
+	}
+	if rej.Reason != ReasonDeadline {
+		t.Fatalf("reason = %q", rej.Reason)
+	}
+	if c.Snapshot().ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d", c.Snapshot().ShedDeadline)
+	}
+}
+
+func TestExpiredInQueueNeverDispatched(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 1, Initial: 1, MaxQueue: 8})
+	tk, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx)
+		errCh <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for c.Snapshot().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	tk.Done(false)
+	st := c.Snapshot()
+	if st.ExpiredInQueue != 1 {
+		t.Fatalf("ExpiredInQueue = %d", st.ExpiredInQueue)
+	}
+	// The dead waiter must not have consumed the freed slot.
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d, want 0", st.InFlight)
+	}
+}
+
+func TestAIMDDecreasesUnderSlowness(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 16, Initial: 8})
+	// Seed a fast baseline.
+	for i := 0; i < 20; i++ {
+		c.mu.Lock()
+		c.recordLatencyLocked(time.Millisecond)
+		c.mu.Unlock()
+	}
+	before := c.Snapshot().Limit
+	// Sustained overload latency: far above 2× baseline.
+	for i := 0; i < 50; i++ {
+		c.mu.Lock()
+		c.lastCut = time.Time{} // bypass the decrease rate limit in-test
+		c.recordLatencyLocked(100 * time.Millisecond)
+		c.mu.Unlock()
+	}
+	after := c.Snapshot().Limit
+	if after >= before {
+		t.Fatalf("limit did not decrease under overload: %d -> %d", before, after)
+	}
+	if after < 1 {
+		t.Fatalf("limit fell below floor: %d", after)
+	}
+}
+
+func TestAIMDIncreasesWhenHealthy(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 16, Initial: 2})
+	for i := 0; i < 200; i++ {
+		c.mu.Lock()
+		c.recordLatencyLocked(time.Millisecond)
+		c.mu.Unlock()
+	}
+	st := c.Snapshot()
+	if st.Limit <= 2 {
+		t.Fatalf("limit did not grow under healthy latency: %d", st.Limit)
+	}
+	if st.Limit > 16 {
+		t.Fatalf("limit exceeded ceiling: %d", st.Limit)
+	}
+}
+
+func TestBaselineResistsUpwardDrift(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 16, Initial: 4})
+	c.mu.Lock()
+	for i := 0; i < 50; i++ {
+		c.recordLatencyLocked(time.Millisecond)
+	}
+	seeded := c.baseline
+	for i := 0; i < 50; i++ {
+		c.recordLatencyLocked(20 * time.Millisecond)
+	}
+	drifted := c.baseline
+	c.mu.Unlock()
+	// 50 slow samples at 20× the baseline must not drag it anywhere
+	// near the overload latency.
+	if drifted > seeded*15 {
+		t.Fatalf("baseline drifted to overload: %v -> %v", seeded, drifted)
+	}
+}
+
+func TestDroppedSamplesDoNotFeedAIMD(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 16, Initial: 4})
+	tk, _ := c.Admit(context.Background())
+	time.Sleep(5 * time.Millisecond)
+	tk.Done(true) // dropped: deadline kill
+	if st := c.Snapshot(); st.BaselineUS != 0 {
+		t.Fatalf("dropped completion seeded the baseline: %+v", st)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	c := New(Config{Floor: 2, Ceiling: 8, Initial: 4, MaxQueue: 16})
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				tk, err := c.Admit(ctx)
+				if err != nil {
+					shed.Add(1)
+				} else {
+					admitted.Add(1)
+					time.Sleep(100 * time.Microsecond)
+					tk.Done(false)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if got := st.Admitted; got != admitted.Load() {
+		t.Fatalf("admitted count %d != observed %d", got, admitted.Load())
+	}
+}
+
+func TestSaturated(t *testing.T) {
+	c := New(Config{Floor: 1, Ceiling: 1, Initial: 1, MaxQueue: 2})
+	if c.Saturated() {
+		t.Fatal("fresh controller saturated")
+	}
+	tk, _ := c.Admit(context.Background())
+	go func() {
+		if tkq, err := c.Admit(context.Background()); err == nil {
+			tkq.Done(false)
+		}
+	}()
+	deadline := time.Now().Add(time.Second)
+	for !c.Saturated() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !c.Saturated() {
+		t.Fatal("half-full queue not reported saturated")
+	}
+	tk.Done(false)
+}

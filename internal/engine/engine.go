@@ -71,6 +71,18 @@ type Config struct {
 	// ceiling fails with a *storage.QuotaError — the multi-tenant
 	// admission-control knob (sommelierd -max-query-bytes).
 	MaxQueryBytes int64
+	// GlobalMemoryBytes bounds the *sum* of all concurrent queries'
+	// materialized bytes via a process-wide memory governor that every
+	// per-query quota reserves from; 0 = ungoverned. Per-query
+	// ceilings alone do not compose — sixteen queries each under their
+	// own MaxQueryBytes can still OOM the process together. A query
+	// that cannot reserve within the governor's bounded wait fails
+	// with a *storage.GovernorError, which sommelierd answers with
+	// 429 + Retry-After (sommelierd -global-memory-bytes).
+	GlobalMemoryBytes int64
+	// GovernorWait bounds how long a query's charge may wait for
+	// global memory before shedding; 0 = storage.DefaultGovernorWait.
+	GovernorWait time.Duration
 	// Degraded makes partial results the default: a query whose chunk
 	// fetch ultimately fails (exhausted retries, quarantine, open
 	// circuit breaker) proceeds over the available chunks and carries
@@ -315,6 +327,7 @@ func OpenSource(repo registrar.ChunkSource, csvDir string, cfg Config) (*DB, err
 	}
 	db.plans = newPlanCache(size)
 	db.env.MaxQueryBytes = cfg.MaxQueryBytes
+	db.env.Governor = storage.NewGovernor(cfg.GlobalMemoryBytes, cfg.GovernorWait)
 	db.env.Degraded = cfg.Degraded
 	if strings.TrimSpace(cfg.Faults) == "" {
 		// Defer to the process environment (nil when unset: the
@@ -445,6 +458,11 @@ func (db *DB) SourceHealth() *registrar.Health {
 // Config.Faults or SOMMELIER_FAULTS armed one. Benchmarks use it to
 // report how many faults actually fired during a run.
 func (db *DB) FaultInjector() *fault.Injector { return db.env.Faults }
+
+// Governor exposes the process-wide memory governor — nil unless
+// Config.GlobalMemoryBytes bounded it — for the server's /stats and
+// /readyz probes.
+func (db *DB) Governor() *storage.Governor { return db.env.Governor }
 
 // Result is a completed query with full provenance.
 type Result struct {

@@ -109,6 +109,13 @@ type Env struct {
 	// streaming run-ahead); 0 means unlimited. Exceeding it aborts the
 	// query with a *storage.QuotaError.
 	MaxQueryBytes int64
+	// Governor, when non-nil, is the process-wide memory pool every
+	// per-query quota reserves from: the bound on the *sum* of
+	// concurrent queries' materialized bytes, which per-query ceilings
+	// alone cannot provide. A query that cannot reserve within the
+	// governor's wait fails with a *storage.GovernorError (backpressure,
+	// not data loss — the server answers 429 retry-later).
+	Governor *storage.Governor
 	// Degraded is the environment's default degraded-mode setting:
 	// when true, a query whose chunk ingestion fails with a Degradable
 	// error proceeds over the available chunks and records a Warning
@@ -341,9 +348,13 @@ type executor struct {
 	// sink, when set, switches the stage-two drain to streaming
 	// delivery (ExecuteStream).
 	sink physical.StreamSink
-	// quota is the per-query memory ceiling (nil = unlimited),
-	// instantiated from Env.MaxQueryBytes at the start of run.
+	// quota is the per-query memory ceiling (nil = unlimited unless
+	// the Env carries a global Governor), instantiated from
+	// Env.MaxQueryBytes at the start of run and Closed — returning any
+	// outstanding global reservation — however the query ends.
 	quota *storage.Quota
+	// t0 stamps execution start, for the watchdog's DeadlineError.
+	t0 time.Time
 
 	qfRel   *storage.Relation
 	qfNames []string
@@ -388,7 +399,19 @@ type pinnedChunk struct {
 	id        int64
 }
 
+// run executes the compiled plan, normalizing any deadline-caused
+// failure — wherever it surfaced: a morsel claim, a drain pull, a
+// breaker build, chunk ingestion — to a typed *DeadlineError.
 func (ex *executor) run() (*Result, error) {
+	ex.t0 = time.Now()
+	res, err := ex.exec()
+	if err != nil {
+		return nil, ex.deadlineErr(err)
+	}
+	return res, nil
+}
+
+func (ex *executor) exec() (*Result, error) {
 	if ex.ctx == nil {
 		ex.ctx = context.Background()
 	}
@@ -398,7 +421,11 @@ func (ex *executor) run() (*Result, error) {
 	ex.env.inflight.Add(1)
 	defer ex.env.inflight.Add(-1)
 	ex.par = ex.env.dop()
-	ex.quota = storage.NewQuota(ex.env.MaxQueryBytes)
+	ex.quota = storage.NewGovernedQuota(ex.ctx, ex.env.MaxQueryBytes, ex.env.Governor)
+	// However the query ends — success, error, watchdog kill, or a
+	// streaming client gone mid-result — its global memory reservation
+	// goes back to the governor here.
+	defer ex.quota.Close()
 	ex.degraded = ex.env.Degraded
 	if v, ok := degradedFrom(ex.ctx); ok {
 		ex.degraded = v
@@ -482,6 +509,7 @@ func (ex *executor) run() (*Result, error) {
 		}
 		err := physical.StreamWith(op, ex.sink, physical.StreamOpts{
 			DOP: ex.par, Check: ex.ctx.Err, Pooled: true, Quota: ex.quota,
+			Morsel: ex.morselHook(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exec: stage two: %w", err)
@@ -516,13 +544,13 @@ func (ex *executor) run() (*Result, error) {
 // its own output relation; the reassembled result holds the serial
 // result's rows in the serial order.
 func (ex *executor) drain(op physical.Operator) (*storage.Relation, error) {
-	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Quota: ex.quota})
+	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Quota: ex.quota, Morsel: ex.morselHook()})
 }
 
 // drainPooled is drain through the pooled coalescer: the stage-two
 // (root) drain, whose relation the result owner Releases.
 func (ex *executor) drainPooled(op physical.Operator) (*storage.Relation, error) {
-	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Pooled: true, Quota: ex.quota})
+	return physical.DrainWith(op, physical.DrainOpts{DOP: ex.par, Check: ex.ctx.Err, Pooled: true, Quota: ex.quota, Morsel: ex.morselHook()})
 }
 
 // selectChunks extracts, per actual-data table, the distinct chunk IDs
@@ -901,6 +929,12 @@ func (ex *executor) build(n plan.Node, inStage1 bool) (physical.Operator, error)
 	// Their internal materializations charge the per-query ceiling.
 	if qh, ok := op.(physical.QuotaHinter); ok {
 		qh.SetQuota(ex.quota)
+	}
+	// And their internal drains — pipeline breakers that would
+	// otherwise materialize to completion — learn the watchdog's
+	// cancellation check.
+	if ch, ok := op.(physical.CheckHinter); ok {
+		ch.SetCheck(ex.ctx.Err)
 	}
 	if ex.trace == nil {
 		return op, nil

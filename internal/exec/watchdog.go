@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sommelier/internal/fault"
+)
+
+// The runaway-query watchdog. Context deadlines have always been
+// enforced at the HTTP handler; what was missing is enforcement
+// *inside* execution — a query that blew its budget kept burning CPU
+// and pooled memory until its drains finished. The executor now
+// threads a cooperative check into every stage-2 drain (materialized
+// and streaming), every morsel-range claim, and every pipeline
+// breaker's internal drain (hash-join build, aggregation fold, sort
+// input, top-k feed), so an expired query stops within one morsel of
+// the expiry, releases every pooled batch on the way out (the drain
+// error paths already guarantee that), and surfaces a typed
+// *DeadlineError the server can count as a watchdog kill.
+
+// DeadlineError reports that a query's deadline expired and the
+// watchdog cancelled it at a morsel or drain boundary. It unwraps to
+// context.DeadlineExceeded, so existing errors.Is dispatch (HTTP 504)
+// keeps working.
+type DeadlineError struct {
+	// Elapsed is how long the query had been executing when the
+	// expiry was noticed.
+	Elapsed time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("exec: deadline exceeded, query cancelled at morsel boundary after %v", e.Elapsed.Round(time.Microsecond))
+}
+
+// Unwrap makes errors.Is(err, context.DeadlineExceeded) true.
+func (e *DeadlineError) Unwrap() error { return context.DeadlineExceeded }
+
+// deadlineErr normalizes a query-fatal error: any error caused by the
+// context deadline — however deep it surfaced from — becomes a
+// *DeadlineError stamped with the query's elapsed time. Other errors
+// (including plain cancellation) pass through.
+func (ex *executor) deadlineErr(err error) error {
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &DeadlineError{Elapsed: time.Since(ex.t0)}
+	}
+	return err
+}
+
+// morselHook builds the Morsel hook for the top-level stage-2 drains:
+// the exec.morsel fault point (injected stalls and errors land here,
+// once per claimed morsel range, never inside a batch) followed by
+// the watchdog's deadline check. Breakers' internal drains get the
+// bare context check instead, so fault counts stay proportional to
+// top-level morsels.
+func (ex *executor) morselHook() func() error {
+	inj := ex.env.Faults
+	ctx := ex.ctx
+	return func() error {
+		if act := inj.Check(fault.PointMorsel); act.Err != nil || act.Delay > 0 {
+			if err := act.Wait(ctx); err != nil {
+				return err
+			}
+			if act.Err != nil {
+				return act.Err
+			}
+		}
+		return ctx.Err()
+	}
+}

@@ -46,6 +46,15 @@ const (
 	// PointFlight fires at the head of the exec singleflight leader's
 	// load, covering the whole ingestion of one chunk.
 	PointFlight = "exec.flight"
+	// PointAdmit fires in the server's admission gate, before a request
+	// is queued or dispatched (error = synthetic shed, latency/stall =
+	// a slow gate holding the handler).
+	PointAdmit = "server.admit"
+	// PointMorsel fires at every top-level morsel-range claim of the
+	// stage-2 drain, materialized and streaming alike (latency/stall =
+	// a worker wedged mid-query; the watchdog and shed paths must
+	// release every pooled batch regardless).
+	PointMorsel = "exec.morsel"
 )
 
 // Environment variables read by Default.

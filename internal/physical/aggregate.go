@@ -147,6 +147,9 @@ type HashAggregate struct {
 	sharedArgs []expr.Expr
 	// dop is the parallelism granted by the executor.
 	dop int
+	// check cancels the accumulation drain — a pipeline breaker — when
+	// the query's deadline expires mid-fold.
+	check func() error
 
 	done bool
 }
@@ -154,6 +157,9 @@ type HashAggregate struct {
 // SetParallel implements ParallelHinter: it grants the aggregation up
 // to dop workers. It must be called before the first Next.
 func (h *HashAggregate) SetParallel(dop int) { h.dop = dop }
+
+// SetCheck implements CheckHinter for the accumulation drain.
+func (h *HashAggregate) SetCheck(check func() error) { h.check = check }
 
 // NewHashAggregate binds the aggregate arguments against the input.
 func NewHashAggregate(in Operator, groupCols []int, aggs []AggColumn) (*HashAggregate, error) {
@@ -349,7 +355,7 @@ func (h *HashAggregate) Next() (*storage.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := acc.drain(h.in); err != nil {
+	if err := acc.drain(h.in, h.check); err != nil {
 		acc.release()
 		return nil, err
 	}
@@ -376,10 +382,10 @@ func (h *HashAggregate) foldParts(parts []Operator) (*storage.Batch, error) {
 		done   = make([]*aggAcc, len(parts))
 		merged int
 	)
-	err = runParts(len(parts), h.dop, func(i int) error {
+	err = runParts(len(parts), h.dop, h.check, func(i int) error {
 		acc, err := h.newAcc()
 		if err == nil {
-			err = acc.drain(parts[i])
+			err = acc.drain(parts[i], h.check)
 		}
 		if err != nil {
 			if acc != nil {
@@ -466,8 +472,13 @@ func (a *aggAcc) release() {
 }
 
 // drain folds every batch of in into the accumulator.
-func (a *aggAcc) drain(in Operator) error {
+func (a *aggAcc) drain(in Operator, check func() error) error {
 	for {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		b, err := in.Next()
 		if err != nil {
 			return err

@@ -41,6 +41,9 @@ type HashJoin struct {
 	// quota meters the materialized build side against the per-query
 	// memory ceiling.
 	quota *storage.Quota
+	// check cancels the build drain — a pipeline breaker — when the
+	// query's deadline expires mid-build.
+	check func() error
 
 	built     bool
 	buildData *storage.Batch
@@ -151,6 +154,9 @@ func (j *HashJoin) SetParallel(dop int) { j.dop = dop }
 // charged against the per-query memory ceiling.
 func (j *HashJoin) SetQuota(q *storage.Quota) { j.quota = q }
 
+// SetCheck implements CheckHinter for the build-side drain.
+func (j *HashJoin) SetCheck(check func() error) { j.check = check }
+
 // NewHashJoin joins left and right on pairwise-equal key columns given
 // as column positions.
 func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, error) {
@@ -195,7 +201,7 @@ func (j *HashJoin) Kinds() []storage.Kind { return j.kinds }
 const parallelBuildMin = 1 << 13
 
 func (j *HashJoin) build() error {
-	rel, err := DrainWith(j.left, DrainOpts{DOP: j.dop, Quota: j.quota})
+	rel, err := DrainWith(j.left, DrainOpts{DOP: j.dop, Quota: j.quota, Check: j.check, Morsel: j.check})
 	if err != nil {
 		return err
 	}

@@ -59,6 +59,17 @@ type QuotaHinter interface {
 	SetQuota(q *storage.Quota)
 }
 
+// CheckHinter is implemented by pipeline breakers (hash-join build,
+// aggregation, sort, top-k) that drain their input internally and
+// would otherwise run that drain unchecked: the executor hands them
+// its cancellation check so a query whose deadline expired mid-build
+// stops at the next batch instead of materializing to completion.
+// SetCheck must be called before the first Next; a nil check means
+// uncancellable.
+type CheckHinter interface {
+	SetCheck(check func() error)
+}
+
 // ParallelDrain drains op to completion with up to dop workers when the
 // operator can split its work, falling back to the serial Drain
 // otherwise. The result holds the same rows in the same order as the
@@ -89,6 +100,13 @@ type DrainOpts struct {
 	// Quota, when non-nil, is charged for every batch materialized into
 	// the output — the per-query memory ceiling.
 	Quota *storage.Quota
+	// Morsel, when non-nil, runs once per morsel-range claim (and once
+	// up front on the serial path) and aborts the drain when it errors.
+	// The executor uses it for the runaway-query watchdog and the
+	// exec.morsel fault point: Check bounds how long a worker runs
+	// between pulls, Morsel bounds it between range claims and is the
+	// one place injected stalls land.
+	Morsel func() error
 }
 
 // DrainWith drains op to completion into a relation under the given
@@ -101,27 +119,47 @@ func DrainWith(op Operator, o DrainOpts) (*storage.Relation, error) {
 				return nil, err
 			}
 			if len(parts) > 1 {
-				return drainParts(parts, o.DOP, o.Check, o.Pooled, o.Quota)
+				return drainParts(parts, o)
 			}
 			if len(parts) == 1 {
+				if err := claimCheck(o.Morsel); err != nil {
+					return nil, err
+				}
 				return drainInto(parts[0], o.Check, NewOutputRelation(parts[0]), o.Pooled, o.Quota)
 			}
 		}
 	}
+	if err := claimCheck(o.Morsel); err != nil {
+		return nil, err
+	}
 	return drainInto(op, o.Check, NewOutputRelation(op), o.Pooled, o.Quota)
+}
+
+// claimCheck runs a morsel-claim hook, treating nil as pass.
+func claimCheck(morsel func() error) error {
+	if morsel == nil {
+		return nil
+	}
+	return morsel()
 }
 
 // runParts invokes run for every part index in [0, n), claimed off a
 // shared atomic cursor by up to dop workers; the remaining workers stop
 // after the first error, which is returned. With dop ≤ 1 the parts run
 // sequentially on the calling goroutine, in order — the serial
-// fallback shares the exact code path of the parallel one.
-func runParts(n, dop int, run func(i int) error) error {
+// fallback shares the exact code path of the parallel one. claim (may
+// be nil) runs after every cursor claim, before the part's work: an
+// erroring claim fails the drain without running the part, which is
+// how an expired deadline cancels within one morsel.
+func runParts(n, dop int, claim func() error, run func(i int) error) error {
 	if dop > n {
 		dop = n
 	}
 	if dop <= 1 {
 		for i := 0; i < n; i++ {
+			if err := claimCheck(claim); err != nil {
+				return err
+			}
 			if err := run(i); err != nil {
 				return err
 			}
@@ -144,7 +182,11 @@ func runParts(n, dop int, run func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := run(i); err != nil {
+				err := claimCheck(claim)
+				if err == nil {
+					err = run(i)
+				}
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return
@@ -162,16 +204,17 @@ func runParts(n, dop int, run func(i int) error) error {
 // per-range relation headers come from (and return to) the relation
 // pool; their batches transfer wholesale to the reassembled output,
 // which alone owns them afterwards.
-func drainParts(parts []Operator, dop int, check func() error, pooled bool, quota *storage.Quota) (*storage.Relation, error) {
+func drainParts(parts []Operator, o DrainOpts) (*storage.Relation, error) {
+	pooled, quota := o.Pooled, o.Quota
 	outs := make([]*storage.Relation, len(parts))
-	err := runParts(len(parts), dop, func(i int) error {
+	err := runParts(len(parts), o.DOP, o.Morsel, func(i int) error {
 		var rel *storage.Relation
 		if pooled {
 			rel = storage.GetRelation(batchHint(parts[i]))
 		} else {
 			rel = NewOutputRelation(parts[i])
 		}
-		rel, err := drainInto(parts[i], check, rel, pooled, quota)
+		rel, err := drainInto(parts[i], o.Check, rel, pooled, quota)
 		if err == nil {
 			outs[i] = rel
 		}

@@ -22,6 +22,7 @@ type Sort struct {
 	keys  []SortKey
 	dop   int
 	quota *storage.Quota
+	check func() error
 	done  bool
 }
 
@@ -32,6 +33,11 @@ func (s *Sort) SetParallel(dop int) { s.dop = dop }
 // SetQuota implements QuotaHinter: the materialized input is charged
 // against the per-query memory ceiling.
 func (s *Sort) SetQuota(q *storage.Quota) { s.quota = q }
+
+// SetCheck implements CheckHinter: the input drain is a pipeline
+// breaker, so without this hook an expired query would sort its whole
+// input before anyone noticed the deadline.
+func (s *Sort) SetCheck(check func() error) { s.check = check }
 
 // NewSort validates the key positions.
 func NewSort(in Operator, keys []SortKey) (*Sort, error) {
@@ -60,7 +66,7 @@ func (s *Sort) Next() (*storage.Batch, error) {
 		return nil, nil
 	}
 	s.done = true
-	rel, err := DrainWith(s.in, DrainOpts{DOP: s.dop, Quota: s.quota})
+	rel, err := DrainWith(s.in, DrainOpts{DOP: s.dop, Quota: s.quota, Check: s.check, Morsel: s.check})
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,10 @@ type StreamOpts struct {
 	// Quota, when non-nil, is charged for the bounded run-ahead buffers
 	// of the parallel drain (refunded as batches are delivered).
 	Quota *storage.Quota
+	// Morsel, when non-nil, runs once per morsel-range claim (and once
+	// up front on the serial path), as in DrainOpts.Morsel: the
+	// watchdog/fault hook of the streaming drain.
+	Morsel func() error
 }
 
 // Stream drains op serially into sink with unpooled output; the
@@ -85,12 +89,15 @@ func StreamWith(op Operator, sink StreamSink, o StreamOpts) error {
 				return err
 			}
 			if len(parts) > 1 {
-				return streamParts(parts, o.DOP, sink, o.Check, o.Pooled, o.Quota)
+				return streamParts(parts, o.DOP, sink, o)
 			}
 			if len(parts) == 1 {
 				op = parts[0]
 			}
 		}
+	}
+	if err := claimCheck(o.Morsel); err != nil {
+		return err
 	}
 	return streamInto(op, sink, o.Check, o.Pooled)
 }
@@ -172,7 +179,8 @@ func streamInto(op Operator, sink StreamSink, check func() error, pooled bool) e
 // so sink backpressure (a blocked Push) suspends scanning, and a sink
 // stop (ErrStopStream) stops the remaining ranges from ever being
 // claimed — the sink-driven cancellation path of LIMIT queries.
-func streamParts(parts []Operator, dop int, sink StreamSink, check func() error, pooled bool, quota *storage.Quota) error {
+func streamParts(parts []Operator, dop int, sink StreamSink, o StreamOpts) error {
+	check, pooled, quota := o.Check, o.Pooled, o.Quota
 	window := dop * 2
 	var (
 		mu         sync.Mutex
@@ -223,6 +231,12 @@ func streamParts(parts []Operator, dop int, sink StreamSink, check func() error,
 				cursor++
 				mu.Unlock()
 
+				if err := claimCheck(o.Morsel); err != nil {
+					mu.Lock()
+					fail(err)
+					mu.Unlock()
+					return
+				}
 				var rel *storage.Relation
 				if pooled {
 					rel = storage.GetRelation(batchHint(parts[i]))

@@ -18,11 +18,12 @@ import (
 // the order of key ties — to Sort followed by Limit, at O(n) memory
 // instead of O(input).
 type TopK struct {
-	in   Operator
-	keys []SortKey
-	n    int
-	dop  int
-	done bool
+	in    Operator
+	keys  []SortKey
+	n     int
+	dop   int
+	check func() error
+	done  bool
 }
 
 // NewTopK validates the key positions, as NewSort does.
@@ -47,6 +48,11 @@ func NewTopK(in Operator, keys []SortKey, n int) (*TopK, error) {
 // input are folded into per-range candidate buffers by up to dop
 // workers, merged in range order.
 func (t *TopK) SetParallel(dop int) { t.dop = dop }
+
+// SetCheck implements CheckHinter: the candidate accumulation drains
+// the whole input, so the deadline check runs per claimed range and
+// per pulled batch.
+func (t *TopK) SetCheck(check func() error) { t.check = check }
 
 // Names implements Operator.
 func (t *TopK) Names() []string { return t.in.Names() }
@@ -80,9 +86,9 @@ func (t *TopK) Next() (*storage.Batch, error) {
 		parts = []Operator{t.in}
 	}
 	accs := make([]*topkAcc, len(parts))
-	err := runParts(len(parts), t.dop, func(i int) error {
+	err := runParts(len(parts), t.dop, t.check, func(i int) error {
 		acc := newTopkAcc(t.keys, t.n)
-		if err := acc.feed(parts[i]); err != nil {
+		if err := acc.feed(parts[i], t.check); err != nil {
 			return err
 		}
 		accs[i] = acc
@@ -142,9 +148,15 @@ func (a *topkAcc) compactAt() int {
 	return at
 }
 
-// feed consumes op to exhaustion.
-func (a *topkAcc) feed(op Operator) error {
+// feed consumes op to exhaustion, consulting check (may be nil)
+// before every pull.
+func (a *topkAcc) feed(op Operator, check func() error) error {
 	for {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		b, err := op.Next()
 		if err != nil {
 			return err

@@ -1,12 +1,15 @@
 // Package server implements sommelierd's HTTP front end: a JSON query
-// API over one engine.DB, executed by a bounded worker pool so a burst
-// of clients cannot fork an unbounded number of concurrent executions.
+// API over one engine.DB, gated by an adaptive admission controller so
+// hostile traffic degrades to fast, honest rejections instead of
+// collapsing the engine.
 //
 // Endpoints:
 //
 //	POST /query    {"sql": "...", "params": [...], "timeout_ms": 5000}  →  result JSON
-//	GET  /stats    server, cache, plan-cache and engine counters
-//	GET  /healthz  liveness probe
+//	GET  /stats    admission, governor, cache, plan-cache and engine counters
+//	GET  /healthz  liveness probe (process up)
+//	GET  /readyz   readiness probe (503 while the queue is saturated
+//	               or the memory governor is exhausted)
 //
 // Queries are compiled through the engine's plan cache: statements
 // differing only in literals share one compiled plan, `?` markers bind
@@ -20,11 +23,18 @@
 // reaches the client while the scan is still running and the server
 // never holds the full result. See stream.go and wire.go.
 //
-// The worker pool is the admission controller: requests queue up to
-// QueueDepth jobs and are rejected with 503 beyond that, so overload
-// degrades crisply instead of collapsing the engine. Each request
-// carries a context deadline; cancellation aborts chunk ingestion and
-// batch evaluation mid-query.
+// Admission (internal/admission) replaced the fixed worker pool: the
+// dispatch gate is an AIMD concurrency limiter adapting to observed
+// query latency between a configured floor and ceiling, and the wait
+// queue in front of it is deadline-aware — a request whose remaining
+// deadline cannot outlast the expected queue wait is rejected up
+// front, and one whose deadline expires while queued is never
+// dispatched. Rejections answer 429 with a computed Retry-After.
+// Inside the engine the same request's context deadline is enforced
+// cooperatively at every morsel boundary (the runaway watchdog,
+// surfacing as *exec.DeadlineError → 504), and the optional global
+// memory governor sheds queries the process cannot afford
+// (*storage.GovernorError → 429).
 package server
 
 import (
@@ -35,13 +45,16 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"sommelier/internal/admission"
 	"sommelier/internal/cache"
 	"sommelier/internal/engine"
+	"sommelier/internal/exec"
+	"sommelier/internal/fault"
 	"sommelier/internal/registrar"
 	"sommelier/internal/sqlparse"
 	"sommelier/internal/storage"
@@ -49,10 +62,16 @@ import (
 
 // Config parameterizes the service.
 type Config struct {
-	// Workers is the size of the query worker pool; 0 means GOMAXPROCS.
+	// Workers is the admission limiter's initial concurrency; 0 means
+	// GOMAXPROCS. The limit then adapts between MinWorkers and
+	// MaxWorkers with observed query latency (AIMD).
 	Workers int
+	// MinWorkers is the limiter's floor; 0 means 1.
+	MinWorkers int
+	// MaxWorkers is the limiter's ceiling; 0 means 4×Workers.
+	MaxWorkers int
 	// QueueDepth bounds queued-but-not-running queries; 0 means
-	// 4×Workers. Beyond it, POST /query returns 503.
+	// 4×Workers. Beyond it, POST /query sheds with 429 + Retry-After.
 	QueueDepth int
 	// DefaultTimeout applies when a request names none; 0 means 30s.
 	DefaultTimeout time.Duration
@@ -63,6 +82,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 4 * c.Workers
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
@@ -82,88 +110,50 @@ type Server struct {
 	db    *engine.DB
 	cfg   Config
 	mux   *http.ServeMux
-	jobs  chan *job
-	wg    sync.WaitGroup
+	ctrl  *admission.Controller
 	start time.Time
 
-	received  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	rejected  atomic.Int64
-	streamed  atomic.Int64
-	degraded  atomic.Int64
-	inFlight  atomic.Int64
-	closed    atomic.Bool
+	received      atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	rejected      atomic.Int64
+	streamed      atomic.Int64
+	degraded      atomic.Int64
+	deadlineKills atomic.Int64
+	governorSheds atomic.Int64
 }
 
-type job struct {
-	ctx    context.Context
-	sql    string
-	params []any
-	// stream, when set, runs the whole request on the worker (streaming
-	// responses write to the client incrementally, so the work cannot be
-	// handed back over a channel); sql/params are unused.
-	stream func()
-	resp   chan jobResult
-}
-
-type jobResult struct {
-	res *engine.Result
-	err error
-}
-
-// New starts the worker pool over db and returns the service.
+// New builds the service over db. Queries now run on their handler
+// goroutines, gated by the admission controller — there is no worker
+// pool to start or drain.
 func New(db *engine.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:    db,
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		jobs:  make(chan *job, cfg.QueueDepth),
+		db:  db,
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		ctrl: admission.New(admission.Config{
+			Floor:    cfg.MinWorkers,
+			Ceiling:  cfg.MaxWorkers,
+			Initial:  cfg.Workers,
+			MaxQueue: cfg.QueueDepth,
+		}),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pool. The HTTP server must be shut down
-// first (http.Server.Shutdown), so no handler is still submitting.
-func (s *Server) Close() {
-	if s.closed.CompareAndSwap(false, true) {
-		close(s.jobs)
-	}
-	s.wg.Wait()
-}
-
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.jobs {
-		if err := j.ctx.Err(); err != nil {
-			// The client gave up while the job sat in the queue.
-			j.resp <- jobResult{err: err}
-			continue
-		}
-		s.inFlight.Add(1)
-		if j.stream != nil {
-			j.stream()
-			s.inFlight.Add(-1)
-			j.resp <- jobResult{}
-			continue
-		}
-		res, err := s.db.QueryArgsContext(j.ctx, j.sql, j.params...)
-		s.inFlight.Add(-1)
-		j.resp <- jobResult{res: res, err: err}
-	}
-}
+// Close is retained for symmetry with New; in-flight requests are the
+// HTTP server's to drain (http.Server.Shutdown), and the admission
+// controller holds no goroutines.
+func (s *Server) Close() {}
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
@@ -296,37 +286,108 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown format %q", req.Format)})
 		return
 	}
-	j := &job{ctx: ctx, sql: req.SQL, params: req.Params, resp: make(chan jobResult, 1)}
-	if req.Stream || req.Format == FormatColumnar {
-		// Streaming requests run entirely on the worker goroutine; this
-		// handler parks until the response is fully written (or until
-		// the job dies in the queue).
-		s.streamed.Add(1)
-		j.stream = func() { s.streamQuery(ctx, w, req, timeout, capped) }
+	// server.admit fault point: a synthetic shed or a stalled gate,
+	// before the request touches the queue.
+	if act := s.db.FaultInjector().Check(fault.PointAdmit); act.Err != nil || act.Delay > 0 {
+		if err := act.Wait(ctx); err != nil {
+			s.failed.Add(1)
+			s.writeError(w, err)
+			return
+		}
+		if act.Err != nil {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: fmt.Sprintf("admission rejected (injected): %v", act.Err)})
+			return
+		}
 	}
-	select {
-	case s.jobs <- j:
-	default:
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded: worker queue full"})
+	tk, err := s.ctrl.Admit(ctx)
+	if err != nil {
+		var rej *admission.RejectError
+		if errors.As(err, &rej) {
+			s.rejected.Add(1)
+		} else {
+			// The context died while queued: the deadline-aware queue
+			// never dispatched it.
+			s.failed.Add(1)
+		}
+		s.writeError(w, err)
+		return
+	}
+	// The ticket's Done releases the concurrency slot and feeds the
+	// AIMD loop — unless the query was dropped (killed, disconnected),
+	// whose latency measures the client's patience, not ours.
+	dropped := false
+	defer func() { tk.Done(dropped) }()
+	if err := ctx.Err(); err != nil {
+		// Admitted but dead on arrival (the window between dispatch and
+		// here): never start executing.
+		dropped = true
+		s.failed.Add(1)
+		s.writeError(w, err)
 		return
 	}
 	t0 := time.Now()
-	out := <-j.resp
-	if out.err != nil {
-		s.failed.Add(1)
-		writeJSON(w, errorStatus(out.err), errorBody(out.err))
+	if req.Stream || req.Format == FormatColumnar {
+		s.streamed.Add(1)
+		dropped = s.streamQuery(ctx, w, req, timeout, capped) != nil
 		return
 	}
-	if j.stream != nil {
-		// streamQuery wrote the response and settled the counters.
+	res, err := s.db.QueryArgsContext(ctx, req.SQL, req.Params...)
+	if err != nil {
+		dropped = true
+		s.failed.Add(1)
+		s.writeError(w, err)
 		return
 	}
 	s.completed.Add(1)
-	if len(out.res.Warnings) > 0 {
+	if len(res.Warnings) > 0 {
 		s.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, toResponse(out.res, time.Since(t0), timeout, capped))
+	writeJSON(w, http.StatusOK, toResponse(res, time.Since(t0), timeout, capped))
+}
+
+// noteError maintains the overload counters for a failed query: a
+// watchdog kill or a governor shed is worth distinguishing from a
+// generic failure on /stats.
+func (s *Server) noteError(err error) {
+	var (
+		ge *storage.GovernorError
+		de *exec.DeadlineError
+	)
+	switch {
+	case errors.As(err, &ge):
+		s.governorSheds.Add(1)
+	case errors.As(err, &de):
+		s.deadlineKills.Add(1)
+	}
+}
+
+// writeError classifies err, maintains the shed/kill counters, sets
+// Retry-After on backpressure rejections, and writes the JSON error
+// envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.noteError(err)
+	var rej *admission.RejectError
+	var ge *storage.GovernorError
+	switch {
+	case errors.As(err, &rej):
+		w.Header().Set("Retry-After", retryAfterSeconds(rej.RetryAfter))
+	case errors.As(err, &ge):
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, errorStatus(err), errorBody(err))
+}
+
+// retryAfterSeconds renders a Retry-After duration in whole seconds,
+// never below 1 (the header has second resolution, and "0" invites an
+// immediate retry storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // errorStatus classifies a query error: deadline and cancellation get
@@ -335,9 +396,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // server-side failure (500), so retry and alerting logic can tell the
 // two apart.
 func errorStatus(err error) int {
-	var qe *storage.QuotaError
+	var (
+		qe  *storage.QuotaError
+		ge  *storage.GovernorError
+		rej *admission.RejectError
+	)
 	switch {
+	case errors.As(err, &rej), errors.As(err, &ge):
+		// Backpressure, not failure: admission or the global memory
+		// governor shed the query. Retry against a less loaded moment
+		// (the handler attaches Retry-After).
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
+		// Including *exec.DeadlineError — the runaway watchdog's
+		// morsel-boundary kill unwraps to the context deadline.
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
@@ -420,6 +492,15 @@ func jsonValue(c storage.Column, r int) any {
 	return v
 }
 
+// GovernorStats is the /stats snapshot of the global memory governor.
+type GovernorStats struct {
+	LimitBytes     int64 `json:"limit_bytes"`
+	InUseBytes     int64 `json:"in_use_bytes"`
+	HighWaterBytes int64 `json:"high_water_bytes"`
+	Sheds          int64 `json:"sheds"`
+	Waits          int64 `json:"waits"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	UptimeS    int64  `json:"uptime_s"`
@@ -435,6 +516,18 @@ type StatsResponse struct {
 	Streamed   int64  `json:"streamed"`
 	// Degraded counts completed queries that returned partial results.
 	Degraded int64 `json:"degraded"`
+	// DeadlineKills counts queries the runaway watchdog cancelled at a
+	// morsel boundary after their deadline expired mid-execution.
+	DeadlineKills int64 `json:"deadline_kills"`
+	// GovernorSheds counts queries rejected because the global memory
+	// governor could not reserve for them in time.
+	GovernorSheds int64 `json:"governor_sheds"`
+	// Admission is the adaptive limiter's live state: current limit,
+	// queue depth and wait percentiles, shed counters.
+	Admission admission.Stats `json:"admission"`
+	// Governor is the global memory pool's accounting; absent when the
+	// server runs ungoverned (no -global-memory-bytes).
+	Governor *GovernorStats `json:"governor,omitempty"`
 	// Source is the chunk source's reliability snapshot (circuit
 	// breakers, quarantine, retry counters) when the source tracks one
 	// (remote HTTP archives do); absent for local repositories.
@@ -464,18 +557,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp StatsResponse
+	ad := s.ctrl.Snapshot()
 	resp.UptimeS = int64(time.Since(s.start).Seconds())
 	resp.Approach = string(s.db.Approach())
-	resp.Workers = s.cfg.Workers
+	resp.Workers = ad.Limit
 	resp.QueueDepth = s.cfg.QueueDepth
-	resp.Queued = len(s.jobs)
-	resp.InFlight = s.inFlight.Load()
+	resp.Queued = ad.Queued
+	resp.InFlight = int64(ad.InFlight)
 	resp.Received = s.received.Load()
 	resp.Completed = s.completed.Load()
 	resp.Failed = s.failed.Load()
 	resp.Rejected = s.rejected.Load()
 	resp.Streamed = s.streamed.Load()
 	resp.Degraded = s.degraded.Load()
+	resp.DeadlineKills = s.deadlineKills.Load()
+	resp.GovernorSheds = s.governorSheds.Load()
+	resp.Admission = ad
+	if g := s.db.Governor(); g != nil {
+		resp.Governor = &GovernorStats{
+			LimitBytes:     g.Limit(),
+			InUseBytes:     g.InUse(),
+			HighWaterBytes: g.HighWater(),
+			Sheds:          g.Sheds(),
+			Waits:          g.Waits(),
+		}
+	}
 	resp.Source = s.db.SourceHealth()
 	cs := s.db.CacheStats()
 	resp.Cache.Hits = cs.Hits
@@ -496,10 +602,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: the process is up and serving. It
+// deliberately stays 200 under overload — restarting a server for
+// being busy makes the overload worse.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while the admission queue is
+// saturated (half its bound) or the memory governor is effectively
+// exhausted, so load balancers stop routing here *before* requests
+// start shedding, and resume when pressure drains.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var reasons []string
+	if s.ctrl.Saturated() {
+		reasons = append(reasons, "admission queue saturated")
+	}
+	if s.db.Governor().Exhausted() {
+		reasons = append(reasons, "memory governor exhausted")
+	}
+	if len(reasons) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: "+strings.Join(reasons, "; "))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,11 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -215,21 +217,49 @@ func TestSixteenConcurrentClients(t *testing.T) {
 	}
 }
 
-// TestOverloadRejects fills the queue with slow queries and checks the
-// bounded pool sheds load with 503 instead of queueing without bound.
+// TestOverloadRejects saturates the admission controller — the single
+// concurrency slot held and the one-deep queue occupied — and checks
+// that excess HTTP load sheds with 429 + Retry-After instead of
+// queueing without bound (or answering a retryable condition with a
+// 5xx), then that capacity is admitted again once the holders drain.
 func TestOverloadRejects(t *testing.T) {
 	db := testDB(t)
-	s := New(db, Config{Workers: 1, QueueDepth: 1, DefaultTimeout: 10 * time.Second})
+	s := New(db, Config{Workers: 1, MaxWorkers: 1, QueueDepth: 1, DefaultTimeout: 10 * time.Second})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Occupy the single slot directly, then park a second admit in the
+	// queue so the controller is deterministically saturated before the
+	// burst fires (real queries on the tiny test corpus finish in
+	// single-digit milliseconds — far too fast to hold the queue full).
+	hold, err := s.ctrl.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		tk, err := s.ctrl.Admit(context.Background())
+		if err == nil {
+			tk.Done(false)
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ctrl.Snapshot().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.ctrl.Snapshot().Queued != 1 {
+		t.Fatal("queue slot never filled")
+	}
+
 	heavy := `SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_time >= '2010-01-01T00:00:00.000'`
-	const burst = 12
+	const burst = 8
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		statuses []int
+		retries  []string
 	)
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
@@ -238,26 +268,36 @@ func TestOverloadRejects(t *testing.T) {
 			resp, _ := post(t, ts.URL, QueryRequest{SQL: heavy})
 			mu.Lock()
 			statuses = append(statuses, resp.StatusCode)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries = append(retries, resp.Header.Get("Retry-After"))
+			}
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	ok, shed := 0, 0
-	for _, s := range statuses {
-		switch s {
-		case http.StatusOK:
-			ok++
-		case http.StatusServiceUnavailable:
-			shed++
-		default:
-			t.Fatalf("unexpected status %d", s)
+	for _, code := range statuses {
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("status %d against a saturated server, want 429", code)
 		}
 	}
-	if ok == 0 {
-		t.Fatal("no query succeeded under burst")
+	if len(retries) != burst {
+		t.Fatalf("shed %d of %d", len(retries), burst)
 	}
-	if ok+shed != burst {
-		t.Fatalf("ok=%d shed=%d of %d", ok, shed, burst)
+	for _, ra := range retries {
+		if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+			t.Fatalf("Retry-After = %q, want integer >= 1", ra)
+		}
+	}
+
+	// Drain the holders: the parked admit dispatches, and a fresh query
+	// is admitted and served.
+	hold.Done(false)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued admit failed: %v", err)
+	}
+	resp, body := post(t, ts.URL, QueryRequest{SQL: heavy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status %d: %s", resp.StatusCode, body)
 	}
 }
 

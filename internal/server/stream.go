@@ -43,10 +43,11 @@ type streamEncoder interface {
 	fail(err error)
 }
 
-// streamQuery executes one streaming request. It runs on a worker
-// goroutine (the handler goroutine is parked on the job's resp channel
-// until this returns, so the ResponseWriter has exactly one user).
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req QueryRequest, timeout time.Duration, capped bool) {
+// streamQuery executes one streaming request on the handler
+// goroutine and settles the outcome counters, returning the query
+// error (nil on success) so the admission ticket can be released with
+// the right dropped/served classification.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req QueryRequest, timeout time.Duration, capped bool) error {
 	var enc streamEncoder
 	if req.Format == FormatColumnar {
 		enc = newColumnarSink(w)
@@ -58,11 +59,14 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req Que
 	if err != nil {
 		s.failed.Add(1)
 		if enc.started() {
+			// The 200 is already on the wire: note the error's counters
+			// and append the in-band error line.
+			s.noteError(err)
 			enc.fail(err)
 		} else {
-			writeJSON(w, errorStatus(err), errorBody(err))
+			s.writeError(w, err)
 		}
-		return
+		return err
 	}
 	s.completed.Add(1)
 	if len(res.Warnings) > 0 {
@@ -70,6 +74,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req Que
 	}
 	enc.finish(toStats(res, time.Since(t0), timeout, capped), res.Warnings)
 	res.Release()
+	return nil
 }
 
 // ndjsonSink encodes a query stream as newline-delimited JSON; see

@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultGovernorWait bounds how long a reservation blocks for
+// capacity before the governor sheds it. Short on purpose: a query
+// that cannot get memory within this window is better rejected (the
+// client retries against a less loaded server) than parked while it
+// pins chunks and a concurrency slot.
+const DefaultGovernorWait = 100 * time.Millisecond
+
+// Governor is the process-wide memory pool that every per-query
+// Quota reserves from. Per-query ceilings do not compose — sixteen
+// concurrent queries each under their own limit can still OOM the
+// process together — so the governor puts one bound on the sum:
+// reservations over the limit first wait (briefly, bounded by
+// maxWait and the caller's context) for running queries to refund
+// run-ahead buffers or finish, then shed with a *GovernorError.
+// Degrading to queueing/shedding instead of the OOM killer is the
+// whole point; the error is typed so the server can answer 429 with
+// a Retry-After rather than a 5xx.
+//
+// A nil *Governor means "ungoverned" and every method is a no-op.
+type Governor struct {
+	limit   int64
+	maxWait time.Duration
+
+	mu        sync.Mutex
+	inUse     int64
+	highWater int64
+	sheds     int64
+	waits     int64
+	wake      chan struct{} // closed+replaced on Release while waiters exist
+	waiters   int
+}
+
+// NewGovernor returns a governor bounding total reserved bytes to
+// limit, or nil (ungoverned) when limit <= 0. maxWait bounds how long
+// a reservation may block for capacity (<= 0 = DefaultGovernorWait).
+func NewGovernor(limit int64, maxWait time.Duration) *Governor {
+	if limit <= 0 {
+		return nil
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultGovernorWait
+	}
+	return &Governor{limit: limit, maxWait: maxWait}
+}
+
+// Reserve claims n bytes of the global budget, waiting up to maxWait
+// (and no longer than ctx allows) for capacity before giving up with
+// a *GovernorError. A request larger than the whole budget sheds
+// immediately — no amount of waiting can satisfy it.
+func (g *Governor) Reserve(ctx context.Context, n int64) error {
+	if g == nil || n <= 0 {
+		return nil
+	}
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	g.mu.Lock()
+	for {
+		if g.inUse+n <= g.limit {
+			g.inUse += n
+			if g.inUse > g.highWater {
+				g.highWater = g.inUse
+			}
+			g.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil
+		}
+		if n > g.limit {
+			// Never satisfiable: shed without waiting.
+			return g.shedLocked(n)
+		}
+		if deadline == nil {
+			timer = time.NewTimer(g.maxWait)
+			deadline = timer.C
+			g.waits++
+		}
+		if g.wake == nil {
+			g.wake = make(chan struct{})
+		}
+		wake := g.wake
+		g.waiters++
+		g.mu.Unlock()
+		select {
+		case <-wake:
+		case <-deadline:
+			g.mu.Lock()
+			g.waiters--
+			return g.shedLocked(n)
+		case <-done:
+			g.mu.Lock()
+			g.waiters--
+			g.mu.Unlock()
+			timer.Stop()
+			return ctx.Err()
+		}
+		g.mu.Lock()
+		g.waiters--
+	}
+}
+
+// shedLocked records a rejection and builds the error. Called with
+// g.mu held; releases it.
+func (g *Governor) shedLocked(n int64) error {
+	g.sheds++
+	err := &GovernorError{Limit: g.limit, InUse: g.inUse, Wanted: n}
+	g.mu.Unlock()
+	return err
+}
+
+// Release returns n reserved bytes to the pool and wakes any
+// reservations waiting for capacity.
+func (g *Governor) Release(n int64) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.inUse -= n
+	if g.inUse < 0 {
+		// Refund/release accounting is mirrored from Quota charges, so
+		// this cannot go negative unless a caller double-releases;
+		// clamp rather than poison every later reservation.
+		g.inUse = 0
+	}
+	if g.waiters > 0 && g.wake != nil {
+		close(g.wake)
+		g.wake = nil
+	}
+	g.mu.Unlock()
+}
+
+// InUse reports the bytes currently reserved (0 on nil).
+func (g *Governor) InUse() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// HighWater reports the peak concurrent reservation (0 on nil).
+func (g *Governor) HighWater() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.highWater
+}
+
+// Sheds reports how many reservations were rejected (0 on nil).
+func (g *Governor) Sheds() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sheds
+}
+
+// Waits reports how many reservations had to wait for capacity.
+func (g *Governor) Waits() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waits
+}
+
+// Limit reports the configured budget (0 on nil).
+func (g *Governor) Limit() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.limit
+}
+
+// Exhausted reports whether the pool is effectively full — the signal
+// /readyz uses to tell load balancers to back off before sheds start.
+// "Effectively" is seven eighths: a pool one batch short of its limit
+// sheds most incoming reservations just as surely as a full one.
+func (g *Governor) Exhausted() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse >= g.limit-g.limit/8
+}
+
+// GovernorError reports that the process-wide memory budget was
+// exhausted and a query's reservation was shed. It is deliberately
+// not Degradable: running out of global memory is backpressure, not
+// data loss, and the right response is retry-later, not a partial
+// answer.
+type GovernorError struct {
+	Limit, InUse, Wanted int64
+}
+
+func (e *GovernorError) Error() string {
+	return fmt.Sprintf("global memory governor exhausted: %d bytes in use of %d, reservation of %d shed", e.InUse, e.Limit, e.Wanted)
+}

@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGovernorReserveRelease(t *testing.T) {
+	g := NewGovernor(1000, time.Millisecond)
+	if err := g.Reserve(context.Background(), 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reserve(context.Background(), 400); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InUse(); got != 1000 {
+		t.Fatalf("InUse = %d, want 1000", got)
+	}
+	if got := g.HighWater(); got != 1000 {
+		t.Fatalf("HighWater = %d, want 1000", got)
+	}
+	g.Release(1000)
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+	if got := g.HighWater(); got != 1000 {
+		t.Fatalf("HighWater after release = %d, want 1000", got)
+	}
+}
+
+func TestGovernorShedsWhenFull(t *testing.T) {
+	g := NewGovernor(1000, time.Millisecond)
+	if err := g.Reserve(context.Background(), 900); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Reserve(context.Background(), 200)
+	var ge *GovernorError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GovernorError", err)
+	}
+	if ge.Limit != 1000 || ge.Wanted != 200 {
+		t.Fatalf("GovernorError = %+v", ge)
+	}
+	if g.Sheds() != 1 {
+		t.Fatalf("Sheds = %d, want 1", g.Sheds())
+	}
+	// Capacity freed before the wait expires: the reservation goes
+	// through instead of shedding.
+	done := make(chan error, 1)
+	g2 := NewGovernor(1000, time.Second)
+	if err := g2.Reserve(context.Background(), 900); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- g2.Reserve(context.Background(), 200) }()
+	time.Sleep(10 * time.Millisecond)
+	g2.Release(900)
+	if err := <-done; err != nil {
+		t.Fatalf("waited reservation failed: %v", err)
+	}
+	if g2.Waits() != 1 {
+		t.Fatalf("Waits = %d, want 1", g2.Waits())
+	}
+}
+
+func TestGovernorOversizedShedsImmediately(t *testing.T) {
+	g := NewGovernor(100, time.Hour) // the wait must not matter
+	t0 := time.Now()
+	err := g.Reserve(context.Background(), 200)
+	var ge *GovernorError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GovernorError", err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatal("oversized reservation waited instead of shedding immediately")
+	}
+}
+
+func TestGovernorHonorsContext(t *testing.T) {
+	g := NewGovernor(100, time.Hour)
+	if err := g.Reserve(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := g.Reserve(ctx, 50); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+}
+
+func TestGovernorExhausted(t *testing.T) {
+	g := NewGovernor(1000, time.Millisecond)
+	if g.Exhausted() {
+		t.Fatal("empty governor reports exhausted")
+	}
+	if err := g.Reserve(context.Background(), 900); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Exhausted() {
+		t.Fatal("governor at 90% not reported exhausted")
+	}
+	g.Release(900)
+	if g.Exhausted() {
+		t.Fatal("drained governor still exhausted")
+	}
+}
+
+func TestGovernorNil(t *testing.T) {
+	var g *Governor
+	if err := g.Reserve(context.Background(), 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(1 << 40)
+	if g.InUse() != 0 || g.Limit() != 0 || g.Exhausted() {
+		t.Fatal("nil governor not inert")
+	}
+	if NewGovernor(0, 0) != nil {
+		t.Fatal("NewGovernor(0) != nil")
+	}
+}
+
+func TestGovernedQuotaMirrorsCharges(t *testing.T) {
+	g := NewGovernor(1000, time.Millisecond)
+	q := NewGovernedQuota(context.Background(), 0, g)
+	if q == nil {
+		t.Fatal("governed quota with no per-query limit must not be nil")
+	}
+	if err := q.Charge(400); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InUse(); got != 400 {
+		t.Fatalf("InUse after charge = %d, want 400", got)
+	}
+	q.Refund(150)
+	if got := g.InUse(); got != 250 {
+		t.Fatalf("InUse after refund = %d, want 250", got)
+	}
+	q.Close()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after close = %d, want 0", got)
+	}
+	q.Close() // idempotent
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after double close = %d", got)
+	}
+}
+
+func TestGovernedQuotaPerQueryLimitFirst(t *testing.T) {
+	g := NewGovernor(1<<20, time.Millisecond)
+	q := NewGovernedQuota(context.Background(), 100, g)
+	if err := q.Charge(80); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Charge(80)
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want *QuotaError", err)
+	}
+	// The failed charge must not have reserved globally.
+	if got := g.InUse(); got != 80 {
+		t.Fatalf("InUse = %d, want 80", got)
+	}
+	q.Close()
+}
+
+func TestGovernedQuotaShedsOnGlobalExhaustion(t *testing.T) {
+	g := NewGovernor(500, time.Millisecond)
+	a := NewGovernedQuota(context.Background(), 0, g)
+	b := NewGovernedQuota(context.Background(), 0, g)
+	if err := a.Charge(400); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Charge(400)
+	var ge *GovernorError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GovernorError", err)
+	}
+	a.Close()
+	if err := b.Charge(400); err != nil {
+		t.Fatalf("charge after peer close: %v", err)
+	}
+	b.Close()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+func TestGovernedQuotaConcurrent(t *testing.T) {
+	g := NewGovernor(1<<30, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := NewGovernedQuota(context.Background(), 0, g)
+			for j := 0; j < 1000; j++ {
+				if err := q.Charge(1024); err != nil {
+					t.Error(err)
+					break
+				}
+				if j%2 == 0 {
+					q.Refund(512)
+				}
+			}
+			q.Close()
+		}()
+	}
+	wg.Wait()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after all queries closed = %d, want 0", got)
+	}
+}
+
+func TestNewGovernedQuotaNilWhenUngoverned(t *testing.T) {
+	if q := NewGovernedQuota(context.Background(), 0, nil); q != nil {
+		t.Fatal("no limit + no governor should be a nil quota")
+	}
+	if q := NewGovernedQuota(context.Background(), 100, nil); q == nil {
+		t.Fatal("per-query limit without governor must still enforce")
+	}
+}
